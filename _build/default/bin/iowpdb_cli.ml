@@ -1,0 +1,168 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     query    - exact Boolean/non-Boolean query on a TI table file
+     open     - open-world query: complete the table, approximate to eps
+     sample   - draw worlds from the (optionally completed) PDB
+     info     - table statistics
+
+   Table files are the Ti_table text format: one "R(args...) prob" per
+   line, '#' comments.  Open-world policies: --policy lambda:<p>:<k>
+   (k fresh facts of probability p over relation N) or
+   --policy geometric:<first>:<ratio> (infinitely many N(0), N(1), ...). *)
+
+open Cmdliner
+
+let read_table path =
+  let ic = open_in path in
+  let rec lines acc =
+    match input_line ic with
+    | line -> lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let l = lines [] in
+  close_in ic;
+  Ti_table.of_lines l
+
+let parse_policy spec ti =
+  match String.split_on_char ':' spec with
+  | [ "lambda"; p; k ] ->
+    let lambda = Rational.of_string p and k = int_of_string k in
+    Completion.openpdb_lambda ~lambda
+      ~new_facts:(List.init k (fun j -> Fact.make "N" [ Value.Int j ]))
+      ti
+  | [ "geometric"; first; ratio ] ->
+    Completion.geometric_policy
+      ~first:(Rational.of_string first)
+      ~ratio:(Rational.of_string ratio)
+      ~new_facts:(fun j -> Fact.make "N" [ Value.Int j ])
+      ti
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "bad policy %S (want lambda:<p>:<k> or geometric:<first>:<ratio>)"
+         spec)
+
+(* Shared arguments *)
+let table_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TABLE" ~doc:"TI table file (one 'R(args) prob' per line).")
+
+let query_arg p =
+  Arg.(
+    required
+    & pos p (some string) None
+    & info [] ~docv:"QUERY" ~doc:"First-order query, e.g. 'exists x. R(x, 1)'.")
+
+let run_query table query =
+  let ti = read_table table in
+  let phi = Fo_parse.parse_exn query in
+  if Fo.free_vars phi = [] then begin
+    let p = Query_eval.boolean ti phi in
+    Printf.printf "P[ %s ] = %s (~%s)\n" query (Rational.to_string p)
+      (Rational.to_decimal_string ~digits:8 p)
+  end
+  else
+    List.iter
+      (fun (tup, p) ->
+        Printf.printf "P[ %s at %s ] = %s\n" query (Tuple.to_string tup)
+          (Rational.to_string p))
+      (Query_eval.marginals ti phi)
+
+let query_cmd =
+  let doc = "Exact query evaluation on a closed-world TI table." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ table_arg $ query_arg 1)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "geometric:1/4:1/2"
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Open-world policy: lambda:<p>:<k> or geometric:<first>:<ratio>.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Additive error budget in (0, 1/2).")
+
+let run_open table query policy eps =
+  let ti = read_table table in
+  let c = parse_policy policy ti in
+  let phi = Fo_parse.parse_exn query in
+  let r = Completion.query_prob c ~eps phi in
+  Printf.printf
+    "P[ %s ] = %s (+/- %g; %d new facts; certified in [%.8f, %.8f])\n" query
+    (Rational.to_decimal_string ~digits:8 r.Approx_eval.estimate)
+    eps r.Approx_eval.n_used
+    (Interval.lo r.Approx_eval.bounds)
+    (Interval.hi r.Approx_eval.bounds)
+
+let open_cmd =
+  let doc = "Open-world (completed) approximate query evaluation." in
+  Cmd.v (Cmd.info "open" ~doc)
+    Term.(const run_open $ table_arg $ query_arg 1 $ policy_arg $ eps_arg)
+
+let samples_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Number of worlds to draw.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let opened_arg =
+  Arg.(
+    value & flag
+    & info [ "open-world" ] ~doc:"Sample from the completed PDB instead.")
+
+let run_sample table n seed opened policy =
+  let ti = read_table table in
+  let g = Prng.create ~seed () in
+  if opened then begin
+    let c = parse_policy policy ti in
+    let src =
+      Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+    in
+    let cti = Countable_ti.create src in
+    for _ = 1 to n do
+      print_endline (Instance.to_string (Countable_ti.sample cti g))
+    done
+  end
+  else
+    for _ = 1 to n do
+      print_endline (Instance.to_string (Ti_table.sample ti g))
+    done
+
+let sample_cmd =
+  let doc = "Draw random worlds." in
+  Cmd.v (Cmd.info "sample" ~doc)
+    Term.(
+      const run_sample $ table_arg $ samples_arg $ seed_arg $ opened_arg
+      $ policy_arg)
+
+let run_info table =
+  let ti = read_table table in
+  Printf.printf "facts:          %d\n" (Ti_table.size ti);
+  Printf.printf "expected size:  %s\n"
+    (Rational.to_decimal_string (Ti_table.expected_instance_size ti));
+  Printf.printf "active domain:  %d values\n"
+    (List.length (Ti_table.active_domain ti));
+  List.iter
+    (fun (f, p) ->
+      Printf.printf "  %s %s\n" (Fact.to_string f) (Rational.to_string p))
+    (Ti_table.facts ti)
+
+let info_cmd =
+  let doc = "Show statistics of a TI table." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ table_arg)
+
+let () =
+  let doc = "infinite open-world probabilistic databases" in
+  let info = Cmd.info "iowpdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; open_cmd; sample_cmd; info_cmd ]))

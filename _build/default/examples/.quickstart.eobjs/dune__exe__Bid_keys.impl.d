@@ -1,0 +1,1 @@
+examples/bid_keys.ml: Array Countable_bid Fact Finite_pdb Float Fo_parse Instance List Option Printf Prng Query_eval Rational Sampler Seq Ti_table Value

@@ -1,0 +1,1 @@
+examples/bid_keys.mli:

@@ -1,0 +1,1 @@
+examples/census_completion.ml: Approx_eval Countable_ti Fact Fact_source Finite_pdb Fo_parse Instance List Printf Rational Seq Value

@@ -1,0 +1,1 @@
+examples/open_world_kb.ml: Approx_eval Array Completion Fact Fact_source Fo_parse List Printf Query_eval Rational Seq Ti_table Value

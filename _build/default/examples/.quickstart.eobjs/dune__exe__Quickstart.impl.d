@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approx_eval Completion Fact Fo_parse List Printf Query_eval Rational Ti_table Tuple Value

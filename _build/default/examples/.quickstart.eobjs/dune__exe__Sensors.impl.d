@@ -1,0 +1,1 @@
+examples/sensors.ml: Approx_eval Completion Fact Fact_source Fo_parse Interval List Option Printf Query_eval Rational Ti_table Value

@@ -1,0 +1,1 @@
+lib/iowpdb/approx_eval.ml: Fact Fact_source Interval List Option Printf Prob Query_eval Rational Value

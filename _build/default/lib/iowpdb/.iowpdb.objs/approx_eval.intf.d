@@ -1,0 +1,1 @@
+lib/iowpdb/approx_eval.mli: Fact_source Fo Interval Rational Tuple

@@ -1,0 +1,1 @@
+lib/iowpdb/completion.ml: Approx_eval Array Bdd Bool_expr Countable_ti Fact Fact_source Finite_pdb Fo Fo_eval Hashtbl Instance Interval Lineage List Option Printf Prob Rational Seq Tuple Wmc

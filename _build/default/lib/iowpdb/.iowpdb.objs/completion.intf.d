@@ -1,0 +1,1 @@
+lib/iowpdb/completion.mli: Approx_eval Countable_ti Fact Fact_source Finite_pdb Fo Interval Rational Ti_table Tuple

@@ -1,0 +1,1 @@
+lib/iowpdb/countable_bid.ml: Array Bid_table Fact Instance List Printf Prng Rational Seq Stdlib

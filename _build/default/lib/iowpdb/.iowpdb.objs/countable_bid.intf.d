@@ -1,0 +1,1 @@
+lib/iowpdb/countable_bid.mli: Bid_table Fact Instance Prng Rational Seq

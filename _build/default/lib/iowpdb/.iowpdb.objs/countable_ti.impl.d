@@ -1,0 +1,1 @@
+lib/iowpdb/countable_ti.ml: Array Fact Fact_source Instance Interval List Option Printf Prng Prob Rational

@@ -1,0 +1,1 @@
+lib/iowpdb/countable_ti.mli: Fact Fact_source Instance Interval Prng Rational Ti_table

@@ -1,0 +1,1 @@
+lib/iowpdb/fact_source.ml: Array Fact Float Hashtbl List Option Printf Rational Seq Stdlib Ti_table

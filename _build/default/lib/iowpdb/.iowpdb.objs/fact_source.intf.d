@@ -1,0 +1,1 @@
+lib/iowpdb/fact_source.mli: Fact Rational Seq Ti_table

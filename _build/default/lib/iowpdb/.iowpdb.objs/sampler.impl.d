@@ -1,0 +1,1 @@
+lib/iowpdb/sampler.ml: Float Hashtbl Instance Prng Seq

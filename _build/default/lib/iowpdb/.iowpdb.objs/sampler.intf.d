@@ -1,0 +1,1 @@
+lib/iowpdb/sampler.mli: Fact Instance Prng

@@ -1,0 +1,1 @@
+lib/iowpdb/size_dist.ml: Fact Hashtbl Instance List Option Rational Seq Value

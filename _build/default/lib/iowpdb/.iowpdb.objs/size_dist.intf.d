@@ -1,0 +1,1 @@
+lib/iowpdb/size_dist.mli: Instance Rational Seq

@@ -1,0 +1,85 @@
+type result = {
+  estimate : Rational.t;
+  eps : float;
+  n_used : int;
+  tail_mass : float;
+  omega_n_bounds : Interval.t;
+  bounds : Interval.t;
+}
+
+(* The truncation point needs alpha_n = (3/2) * tail(n) to satisfy both
+   e^{alpha_n} <= 1 + eps and e^{-alpha_n} >= 1 - eps; the binding
+   constraint is alpha_n <= ln(1 + eps) (smaller than -ln(1 - eps)).
+   Claim (∗) additionally needs every truncated probability below 1/2,
+   which tail(n) <= ln(1+eps)*2/3 < 1/2 already implies for eps < 1/2. *)
+let required_tail eps = 2.0 /. 3.0 *. log1p eps
+
+let check_eps eps =
+  if not (eps > 0.0 && eps < 0.5) then
+    invalid_arg "Approx_eval: eps must lie in (0, 1/2)"
+
+let truncation_point ?max_n src ~eps =
+  check_eps eps;
+  Fact_source.prefix_for_tail ?max_n src (required_tail eps)
+
+let truncate_or_fail ?max_n src ~eps =
+  match truncation_point ?max_n src ~eps with
+  | Some n -> n
+  | None ->
+    if not (Fact_source.converges src) then
+      invalid_arg
+        (Printf.sprintf
+           "Approx_eval: source %s diverges; no tuple-independent PDB exists \
+            (Theorem 4.8), nothing to approximate"
+           (Fact_source.name src))
+    else
+      invalid_arg
+        (Printf.sprintf
+           "Approx_eval: source %s converges too slowly: no adequate \
+            truncation below the bound (cf. the closing remark of Section 6)"
+           (Fact_source.name src))
+
+let omega_bounds src n =
+  (* P(Omega_n) = prod_{i>=n} (1 - p_i): none of the truncated facts
+     occurs.  Lower bound from claim (∗), upper bound trivially 1 minus
+     nothing (each factor <= 1). *)
+  match Fact_source.tail_mass src n with
+  | Some t when t < 0.5 -> Interval.make (exp (-1.5 *. t)) 1.0
+  | Some _ -> Interval.make 0.0 1.0
+  | None -> assert false
+
+let boolean ?max_n src ~eps phi =
+  let n = truncate_or_fail ?max_n src ~eps in
+  let table = Fact_source.truncate src n in
+  let p = Query_eval.boolean table phi in
+  let tail = Option.value (Fact_source.tail_mass src n) ~default:nan in
+  let om = omega_bounds src n in
+  let pf = Prob.Interval_carrier.of_rational p in
+  let lower = Interval.mul pf om in
+  let bounds =
+    Interval.clamp01
+      (Interval.make (Interval.lo lower)
+         (Interval.hi (Interval.add lower (Interval.compl om))))
+  in
+  { estimate = p; eps; n_used = n; tail_mass = tail; omega_n_bounds = om; bounds }
+
+let marginals ?max_n src ~eps phi =
+  let n = truncate_or_fail ?max_n src ~eps in
+  let table = Fact_source.truncate src n in
+  Query_eval.marginals table phi
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 6.2 witness *)
+(* ------------------------------------------------------------------ *)
+
+let prop62_witness ~first_acceptance ~horizon =
+  if first_acceptance < 1 || horizon < first_acceptance then
+    invalid_arg "Approx_eval.prop62_witness";
+  let fact k =
+    let rel = if k = first_acceptance then "R" else "S" in
+    (Fact.make rel [ Value.Int k ], Rational.pow Rational.half k)
+  in
+  let entries = List.init horizon (fun i -> fact (i + 1)) in
+  Fact_source.of_list
+    ~name:(Printf.sprintf "prop62(t0=%d)" first_acceptance)
+    entries

@@ -1,0 +1,61 @@
+(** Additive approximation of query probabilities on countable
+    tuple-independent PDBs — Proposition 6.1 and Figure 1 of the paper.
+
+    Given oracle access to a convergent enumeration of fact probabilities
+    (a {!Fact_source.t}) and an error budget [eps], the algorithm:
+
+    + finds the least truncation point [n] whose tail mass [alpha_n]
+      satisfies [e^{alpha_n} <= 1 + eps] and [e^{-alpha_n} >= 1 - eps],
+      using claim (∗) ([alpha_n = (3/2) * tail mass], sound once every
+      remaining probability is below 1/2);
+    + evaluates the query on the finite TI table of the first [n] facts
+      with a classical closed-world engine ({!Query_eval});
+    + returns that number [p], which satisfies
+      [P(Q) - eps <= p <= P(Q) + eps].
+
+    The returned record also carries machine-checked enclosures so
+    experiments can display measured-vs-guaranteed error. *)
+
+type result = {
+  estimate : Rational.t;  (** [p = P(Q | Omega_n)], exact on the truncation *)
+  eps : float;  (** the requested additive budget *)
+  n_used : int;  (** facts retained *)
+  tail_mass : float;  (** certified bound on the truncated mass *)
+  omega_n_bounds : Interval.t;
+      (** enclosure of [P(Omega_n)] = probability that no truncated fact
+          occurs *)
+  bounds : Interval.t;
+      (** enclosure of the true [P(Q)] implied by the run:
+          [p * P(Omega_n) <= P(Q) <= p * P(Omega_n) + (1 - P(Omega_n))] *)
+}
+
+val boolean : ?max_n:int -> Fact_source.t -> eps:float -> Fo.t -> result
+(** @raise Invalid_argument if [eps] is outside [(0, 1/2)] (the range of
+    Proposition 6.1), the source diverges, or no adequate truncation
+    exists below [max_n] (default [2^20]) — the "series may converge
+    arbitrarily slowly" caveat of Section 6. *)
+
+val truncation_point : ?max_n:int -> Fact_source.t -> eps:float -> int option
+(** The [n(eps)] the algorithm would use; exposed for experiment E2
+    (growth of [n(eps)] across decay regimes). *)
+
+val marginals :
+  ?max_n:int -> Fact_source.t -> eps:float -> Fo.t ->
+  (Tuple.t * Rational.t) list
+(** The free-variable extension sketched after Proposition 6.1: ground
+    the query over [adom(Omega_n)] and approximate each sentence; each
+    returned probability carries the same additive guarantee.  Tuples
+    with estimate 0 are omitted. *)
+
+(** {1 Proposition 6.2 (no multiplicative approximation)} *)
+
+val prop62_witness : first_acceptance:int -> horizon:int -> Fact_source.t
+(** The witness family from the proof of Proposition 6.2, made concrete:
+    facts [R(k)] / [S(k)] with probability [2^{-k}], where [R(k)] occurs
+    (instead of [S(k)]) exactly at [k = first_acceptance] — a decidable
+    stand-in for "the Turing machine first accepts at time [t]".
+    [P(exists x. R(x)) = 2^{-first_acceptance}] is positive but
+    arbitrarily small in the parameter, while any evaluator that inspects
+    only a bounded prefix returns 0 — unbounded multiplicative error,
+    bounded additive error.  [horizon] caps the enumeration (the finite
+    stage [L_{N,t}] of the proof). *)

@@ -1,0 +1,69 @@
+(** Countable tuple-independent probabilistic databases — the central
+    construction of the paper (Section 4.1, Proposition 4.5,
+    Theorem 4.8).
+
+    Given a convergent family of fact probabilities [(p_f)], the measure
+
+    [P({D}) = prod_{f in D} p_f * prod_{f in F_omega - D} (1 - p_f)]
+
+    is a probability measure on the countable set of finite subsets of
+    [F_omega] (Lemma 4.3) realizing the given marginals independently
+    (Lemma 4.4).  This module computes with that measure: exact prefix
+    factors, certified two-sided enclosures of infinite products (via
+    claim (∗)), exact marginals, expected size (Corollary 4.7), truncation
+    to finite TI tables, and exact-in-distribution sampling.
+
+    [create] enforces Theorem 4.8: a source without a finite tail
+    certificate is rejected — such marginals admit no tuple-independent
+    PDB at all (Lemma 4.6, via Borel-Cantelli). *)
+
+type t
+
+val create : Fact_source.t -> t
+(** @raise Invalid_argument if the source does not certify convergence
+    (Theorem 4.8's necessity direction). *)
+
+val source : t -> Fact_source.t
+
+val marginal : t -> Fact.t -> Rational.t option
+(** [P(E_f) = p_f]; [None] when the fact was not found within the
+    enumeration scan bound (unknown, possibly 0). *)
+
+val expected_size_bounds : t -> n:int -> float * float
+(** Two-sided bounds on [E(S_D) = sum_f p_f] from the first [n] terms
+    plus the tail certificate (equation (5), Corollary 4.7). *)
+
+val instance_prob_bounds : t -> n:int -> Instance.t -> Interval.t
+(** Enclosure of [P({D})] using the first [n] enumerated facts exactly
+    and claim (∗) on the tail.  All facts of [D] must lie within the
+    first [n]; @raise Invalid_argument otherwise (increase [n]). *)
+
+val instance_prob_prefix : t -> n:int -> Instance.t -> Rational.t
+(** The exact finite part
+    [prod_{f in D} p_f * prod_{f in first-n - D} (1-p_f)]: the
+    probability that the world agrees with [D] on the first [n] facts.
+    Monotonically decreasing in [n], with limit [P({D})]. *)
+
+val empty_world_prob_bounds : t -> n:int -> Interval.t
+(** Enclosure of [P({})] = [prod (1 - p_f)]; positive iff no [p_f = 1]
+    and the series converges — the quantity behind [P1({}) > 0] in the
+    proof of Theorem 5.5. *)
+
+val truncate : t -> n:int -> Ti_table.t
+val truncate_for_mass : t -> eps:float -> (int * Ti_table.t) option
+(** Least [n] whose tail mass is at most [eps], with the corresponding
+    finite table; [None] if no such [n] below the internal bound. *)
+
+val sample : ?tail_cut:float -> ?max_facts:int -> t -> Prng.t -> Instance.t
+(** Draw a world.  Facts in the prefix up to the first tail bound below
+    [tail_cut] (default [2^-20]), capped at [max_facts] (default 4096),
+    are drawn as independent Bernoullis (float marginals; sub-ulp bias).
+    The sampled law is within the achieved tail mass of the true one in
+    total variation; worlds are almost surely finite either way (the
+    paper's Section 3.2). *)
+
+val partition_prefix_sum : t -> n:int -> Rational.t
+(** [sum_{D subseteq first-n facts} P_n({D})] where [P_n] uses only the
+    first [n] factors — exactly 1 for every [n] (the finite core of
+    Lemma 4.3); exposed so tests and benches can watch the identity hold
+    exactly as [n] grows. *)

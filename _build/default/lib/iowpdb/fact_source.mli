@@ -1,0 +1,99 @@
+(** Countable enumerations of weighted facts — the input data of the
+    countable tuple-independent construction (Section 4.1).
+
+    A fact source is a (finite or countably infinite) enumeration of
+    distinct facts with exact rational probabilities, together with a
+    certified upper bound on the tail mass [sum_{i>=n} p_i].  Theorem 4.8
+    says a tuple-independent PDB with these marginals exists iff the total
+    mass is finite; a source {e converges} exactly when it carries a
+    finite tail certificate.
+
+    This is also precisely the access model of Section 6's approximation
+    algorithm: assumption (i) is [total_mass_upper], assumption (ii) is
+    [nth]/[prob]. *)
+
+type t
+
+val make :
+  ?name:string ->
+  enum:(Fact.t * Rational.t) Seq.t ->
+  tail:(int -> float option) ->
+  unit ->
+  t
+(** [enum] must list distinct facts with probabilities in [(0, 1]];
+    [tail n] must soundly bound [sum_{i>=n} p_i] (antitone, [None] if
+    divergent/unknown).  Validation of fact distinctness and probability
+    range happens lazily as the enumeration is consumed. *)
+
+val of_list : ?name:string -> (Fact.t * Rational.t) list -> t
+(** Finite source with exact tails.
+    @raise Invalid_argument on duplicates or out-of-range
+    probabilities. *)
+
+val of_ti_table : Ti_table.t -> t
+
+val geometric :
+  ?name:string ->
+  first:Rational.t ->
+  ratio:Rational.t ->
+  facts:(int -> Fact.t) ->
+  unit ->
+  t
+(** [p_i = first * ratio^i] with [0 < ratio < 1]; exact rational
+    probabilities and exact geometric tails.
+    @raise Invalid_argument if [first] is not in [(0,1]] or [ratio] not in
+    [(0,1)]. *)
+
+val telescoping :
+  ?name:string -> mass:Rational.t -> facts:(int -> Fact.t) -> unit -> t
+(** [p_i = mass / ((i+1)(i+2))]: quadratic (zeta-like) decay with the
+    exact tail [mass / (n+1)] — the rational stand-in for the paper's
+    [6/(pi^2 n^2)] example. @raise Invalid_argument unless
+    [0 < mass <= 1]... mass may exceed 1 only if no single term does. *)
+
+val divergent_harmonic :
+  ?name:string -> scale:Rational.t -> facts:(int -> Fact.t) -> unit -> t
+(** [p_i = scale / (i+1)], capped at 1: a divergent source for negative
+    tests of Theorem 4.8. *)
+
+val name : t -> string
+
+val nth : t -> int -> (Fact.t * Rational.t) option
+(** Memoized random access into the enumeration. *)
+
+val prob : t -> Fact.t -> Rational.t option
+(** Marginal of a fact if it appears within the enumerated-so-far prefix
+    or is found by scanning ahead up to an internal bound; [None] means
+    "not found within the scan bound" (treat as probability unknown, not
+    zero). *)
+
+val prefix : t -> int -> (Fact.t * Rational.t) list
+(** The first [min n length] entries. *)
+
+val tail_mass : t -> int -> float option
+val converges : t -> bool
+
+val prefix_for_tail : ?max_n:int -> t -> float -> int option
+(** Least [n] with [tail n <= bound] (galloping + binary search). *)
+
+val total_mass_upper : t -> int -> float option
+(** Exact prefix sum (as float) plus the tail bound at [n]. *)
+
+val prefix_sum : t -> int -> Rational.t
+(** Exact sum of the first [n] probabilities. *)
+
+val truncate : t -> int -> Ti_table.t
+(** The finite TI table on the first [n] facts — the [Omega_n] of
+    Proposition 6.1. *)
+
+val append_finite : (Fact.t * Rational.t) list -> t -> t
+(** Prepend finitely many entries (e.g. the original facts of a
+    completion) ahead of a countable tail.  Facts in the list must not
+    reappear in the tail — validated lazily. *)
+
+val map_facts : (Fact.t -> Fact.t) -> t -> t
+(** Rename facts (must stay injective — validated lazily). *)
+
+val interleave : t -> t -> t
+(** Fair interleaving; tails add.  Fact sets must be disjoint (validated
+    lazily). *)

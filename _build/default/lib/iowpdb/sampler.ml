@@ -1,0 +1,46 @@
+let draws ~seed ~samples sampler =
+  let g = Prng.create ~seed () in
+  Seq.init samples (fun _ -> sampler g)
+
+let estimate_event ~seed ~samples sampler event =
+  let hits =
+    Seq.fold_left
+      (fun acc inst -> if event inst then acc + 1 else acc)
+      0
+      (draws ~seed ~samples sampler)
+  in
+  float_of_int hits /. float_of_int samples
+
+let estimate_marginal ~seed ~samples sampler f =
+  estimate_event ~seed ~samples sampler (fun inst -> Instance.mem f inst)
+
+let independence_gap ~seed ~samples sampler f g =
+  let both = ref 0 and cf = ref 0 and cg = ref 0 in
+  Seq.iter
+    (fun inst ->
+      let hf = Instance.mem f inst and hg = Instance.mem g inst in
+      if hf then incr cf;
+      if hg then incr cg;
+      if hf && hg then incr both)
+    (draws ~seed ~samples sampler);
+  let n = float_of_int samples in
+  Float.abs
+    ((float_of_int !both /. n)
+     -. (float_of_int !cf /. n *. (float_of_int !cg /. n)))
+
+let exclusivity_violations ~seed ~samples sampler block_of =
+  let violations = ref 0 in
+  Seq.iter
+    (fun inst ->
+      let seen = Hashtbl.create 8 in
+      let bad = ref false in
+      Instance.iter
+        (fun f ->
+          match block_of f with
+          | None -> ()
+          | Some b ->
+            if Hashtbl.mem seen b then bad := true else Hashtbl.add seen b ())
+        inst;
+      if !bad then incr violations)
+    (draws ~seed ~samples sampler);
+  !violations

@@ -1,0 +1,33 @@
+(** Empirical measurement helpers over world samplers.
+
+    Thin utilities shared by tests, examples and the bench harness:
+    estimate event probabilities, fact marginals and independence gaps
+    from repeated draws of a sampler (typically {!Countable_ti.sample} or
+    {!Countable_bid.sample} with split generators). *)
+
+val estimate_event :
+  seed:int -> samples:int -> (Prng.t -> Instance.t) -> (Instance.t -> bool) ->
+  float
+(** Fraction of sampled worlds satisfying the event. *)
+
+val estimate_marginal :
+  seed:int -> samples:int -> (Prng.t -> Instance.t) -> Fact.t -> float
+
+val independence_gap :
+  seed:int ->
+  samples:int ->
+  (Prng.t -> Instance.t) ->
+  Fact.t ->
+  Fact.t ->
+  float
+(** [|P-hat(f and g) - P-hat(f) * P-hat(g)|] on a shared sample: an
+    empirical check of Lemma 4.2 / Definition 4.11(2). *)
+
+val exclusivity_violations :
+  seed:int ->
+  samples:int ->
+  (Prng.t -> Instance.t) ->
+  (Fact.t -> string option) ->
+  int
+(** Number of sampled worlds containing two facts of the same block —
+    must be 0 for a BID sampler (Definition 4.11(1)). *)

@@ -1,0 +1,1 @@
+lib/kc/bdd.ml: Bigint Bool_expr Format Fun Hashtbl Int List Set

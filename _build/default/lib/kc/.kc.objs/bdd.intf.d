@@ -1,0 +1,1 @@
+lib/kc/bdd.mli: Bigint Bool_expr Format

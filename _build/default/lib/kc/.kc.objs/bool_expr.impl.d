@@ -1,0 +1,1 @@
+lib/kc/bool_expr.ml: Array Format Hashtbl Int List Printf Prob Set Stdlib String

@@ -1,0 +1,1 @@
+lib/kc/bool_expr.mli: Format Prob

@@ -1,0 +1,1 @@
+lib/kc/dnf.ml: Array Bool_expr Float Hashtbl Int List Option Prng Prob Set

@@ -1,0 +1,1 @@
+lib/kc/dnf.mli: Bool_expr Prob

@@ -1,0 +1,1 @@
+lib/kc/wmc.ml: Bdd Bool_expr Hashtbl List Prob

@@ -1,0 +1,1 @@
+lib/kc/wmc.mli: Bdd Bool_expr Interval Prob Rational

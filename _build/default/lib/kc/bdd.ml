@@ -1,0 +1,272 @@
+(* Reduced ordered BDDs with a per-manager unique table and operation
+   caches.  Canonicity invariant: no node has lo == hi, and no two
+   distinct nodes have equal (var, lo, hi); hence semantic equality of
+   functions is pointer/id equality of roots. *)
+
+type t =
+  | Leaf of bool
+  | Node of { id : int; level : int; var : int; lo : t; hi : t }
+
+type op = Op_and | Op_or | Op_xor
+
+type manager = {
+  order : int -> int;
+  unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) -> node *)
+  apply_cache : (op * int * int, t) Hashtbl.t;
+  neg_cache : (int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
+
+let manager ?(order = Fun.id) () =
+  {
+    order;
+    unique = Hashtbl.create 1024;
+    apply_cache = Hashtbl.create 1024;
+    neg_cache = Hashtbl.create 256;
+    next_id = 2;
+  }
+
+let tru _ = Leaf true
+let fls _ = Leaf false
+
+let mk m var lo hi =
+  if id lo = id hi then lo
+  else begin
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; level = m.order var; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m v = mk m v (Leaf false) (Leaf true)
+
+let level = function
+  | Leaf _ -> max_int
+  | Node n -> n.level
+
+let rec neg m t =
+  match t with
+  | Leaf b -> Leaf (not b)
+  | Node n -> (
+      match Hashtbl.find_opt m.neg_cache n.id with
+      | Some r -> r
+      | None ->
+        let r = mk m n.var (neg m n.lo) (neg m n.hi) in
+        Hashtbl.add m.neg_cache n.id r;
+        r)
+
+let apply_leaf op a b =
+  match op with
+  | Op_and -> a && b
+  | Op_or -> a || b
+  | Op_xor -> a <> b
+
+let rec apply m op a b =
+  (* Terminal shortcuts. *)
+  match (op, a, b) with
+  | _, Leaf x, Leaf y -> Leaf (apply_leaf op x y)
+  | Op_and, Leaf false, _ | Op_and, _, Leaf false -> Leaf false
+  | Op_and, Leaf true, x | Op_and, x, Leaf true -> x
+  | Op_or, Leaf true, _ | Op_or, _, Leaf true -> Leaf true
+  | Op_or, Leaf false, x | Op_or, x, Leaf false -> x
+  | Op_xor, Leaf false, x | Op_xor, x, Leaf false -> x
+  | Op_xor, Leaf true, x | Op_xor, x, Leaf true -> neg m x
+  | _ ->
+    if (op = Op_and || op = Op_or) && id a = id b then a
+    else begin
+      (* Commutative ops: normalize the cache key. *)
+      let ia = id a and ib = id b in
+      let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
+      match Hashtbl.find_opt m.apply_cache key with
+      | Some r -> r
+      | None ->
+        let la = level a and lb = level b in
+        let r =
+          if la < lb then begin
+            match a with
+            | Node n -> mk m n.var (apply m op n.lo b) (apply m op n.hi b)
+            | Leaf _ -> assert false
+          end
+          else if lb < la then begin
+            match b with
+            | Node n -> mk m n.var (apply m op a n.lo) (apply m op a n.hi)
+            | Leaf _ -> assert false
+          end
+          else begin
+            match (a, b) with
+            | Node na, Node nb ->
+              mk m na.var (apply m op na.lo nb.lo) (apply m op na.hi nb.hi)
+            | _ -> assert false
+          end
+        in
+        Hashtbl.add m.apply_cache key r;
+        r
+    end
+
+let conj m a b = apply m Op_and a b
+let disj m a b = apply m Op_or a b
+let xor m a b = apply m Op_xor a b
+
+let ite m f g h = disj m (conj m f g) (conj m (neg m f) h)
+
+let rec of_expr m = function
+  | Bool_expr.True -> Leaf true
+  | Bool_expr.False -> Leaf false
+  | Bool_expr.Var i -> var m i
+  | Bool_expr.Not e -> neg m (of_expr m e)
+  | Bool_expr.And es ->
+    List.fold_left (fun acc e -> conj m acc (of_expr m e)) (Leaf true) es
+  | Bool_expr.Or es ->
+    List.fold_left (fun acc e -> disj m acc (of_expr m e)) (Leaf false) es
+
+let is_tru = function Leaf true -> true | _ -> false
+let is_fls = function Leaf false -> true | _ -> false
+let equal a b = id a = id b
+
+let size t =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  Hashtbl.length seen
+
+let node_count m = Hashtbl.length m.unique
+
+let rec eval env = function
+  | Leaf b -> b
+  | Node n -> eval env (if env n.var then n.hi else n.lo)
+
+module ISet = Set.Make (Int)
+
+let support t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref ISet.empty in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        acc := ISet.add n.var !acc;
+        go n.lo;
+        go n.hi
+      end
+  in
+  go t;
+  ISet.elements !acc
+
+let sat_count t ~over =
+  let sup = support t in
+  let over_set = ISet.of_list over in
+  if not (List.for_all (fun v -> ISet.mem v over_set) sup) then
+    invalid_arg "Bdd.sat_count: over must contain the support";
+  (* Count over the support first, then double for each free variable. *)
+  let levels =
+    List.sort_uniq compare
+      (List.filter_map
+         (function l when l = max_int -> None | l -> Some l)
+         (let rec collect acc = function
+            | Leaf _ -> acc
+            | Node n -> collect (collect (n.level :: acc) n.lo) n.hi
+          in
+          collect [] t))
+  in
+  let rank = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.add rank l i) levels;
+  let k = List.length levels in
+  let pow2 e = Bigint.shift_left Bigint.one e in
+  let memo = Hashtbl.create 64 in
+  (* count n = number of satisfying assignments of the sub-BDD over the
+     support variables at ranks >= rank(n.level) + 1, scaled per child. *)
+  let rec count n =
+    match n with
+    | Leaf _ -> assert false
+    | Node node -> (
+        match Hashtbl.find_opt memo node.id with
+        | Some c -> c
+        | None ->
+          let r = Hashtbl.find rank node.level in
+          let child c =
+            match c with
+            | Leaf false -> Bigint.zero
+            | Leaf true -> pow2 (k - (r + 1))
+            | Node nc ->
+              let rc = Hashtbl.find rank nc.level in
+              Bigint.mul (pow2 (rc - (r + 1))) (count c)
+          in
+          let c = Bigint.add (child node.lo) (child node.hi) in
+          Hashtbl.add memo node.id c;
+          c)
+  in
+  let base =
+    match t with
+    | Leaf false -> Bigint.zero
+    | Leaf true -> pow2 k
+    | Node n ->
+      let r = Hashtbl.find rank n.level in
+      Bigint.mul (pow2 r) (count t)
+  in
+  let free = List.length over - List.length sup in
+  Bigint.mul base (pow2 free)
+
+let any_sat t =
+  let rec go acc = function
+    | Leaf true -> Some (List.rev acc)
+    | Leaf false -> None
+    | Node n -> (
+        match go ((n.var, true) :: acc) n.hi with
+        | Some r -> Some r
+        | None -> go ((n.var, false) :: acc) n.lo)
+  in
+  go [] t
+
+let restrict m t v b =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf x -> Leaf x
+    | Node n -> (
+        if n.var = v then go (if b then n.hi else n.lo)
+        else
+          match Hashtbl.find_opt memo n.id with
+          | Some r -> r
+          | None ->
+            let r = mk m n.var (go n.lo) (go n.hi) in
+            Hashtbl.add memo n.id r;
+            r)
+  in
+  go t
+
+let fold_prob ~zero ~one ~node t =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf false -> zero
+    | Leaf true -> one
+    | Node n -> (
+        match Hashtbl.find_opt memo n.id with
+        | Some r -> r
+        | None ->
+          let r = node n.var (go n.lo) (go n.hi) in
+          Hashtbl.add memo n.id r;
+          r)
+  in
+  go t
+
+let pp fmt t =
+  let rec go fmt = function
+    | Leaf b -> Format.fprintf fmt "%b" b
+    | Node n ->
+      Format.fprintf fmt "@[<hov 1>(x%d ? %a : %a)@]" n.var go n.hi go n.lo
+  in
+  go fmt t

@@ -1,0 +1,63 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    The workhorse of exact probabilistic inference over lineage
+    expressions: compiling a lineage to a BDD makes its weighted model
+    count linear in the BDD size (see {!Wmc}).  Built from scratch — the
+    sealed environment has no BDD package.
+
+    A {!manager} owns the unique table; nodes from different managers must
+    not be mixed. *)
+
+type manager
+type t
+
+val manager : ?order:(int -> int) -> unit -> manager
+(** [order] maps variable indices to levels: smaller level = closer to the
+    root.  Default is the identity.  The order must be injective on the
+    variables used. *)
+
+val tru : manager -> t
+val fls : manager -> t
+val var : manager -> int -> t
+
+val neg : manager -> t -> t
+val conj : manager -> t -> t -> t
+val disj : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val of_expr : manager -> Bool_expr.t -> t
+
+val is_tru : t -> bool
+val is_fls : t -> bool
+val equal : t -> t -> bool
+(** Constant-time: ROBDDs are canonical per manager. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val node_count : manager -> int
+(** Total nodes ever created in the manager (unique-table size). *)
+
+val eval : (int -> bool) -> t -> bool
+
+val support : t -> int list
+(** Variables the function actually depends on, sorted. *)
+
+val sat_count : t -> over:int list -> Bigint.t
+(** Number of satisfying assignments over the given variable set, which
+    must contain the support. @raise Invalid_argument otherwise. *)
+
+val any_sat : t -> (int * bool) list option
+(** A satisfying partial assignment (over the support), or [None] for the
+    constant-false BDD. *)
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor: fix one variable. *)
+
+val fold_prob : zero:'a -> one:'a -> node:(int -> 'a -> 'a -> 'a) -> t -> 'a
+(** Memoized bottom-up fold: each distinct node is visited once;
+    [node v lo hi] receives the results for the low and high children.
+    This is the single pass weighted model counting reduces to. *)
+
+val pp : Format.formatter -> t -> unit

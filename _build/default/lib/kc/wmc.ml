@@ -1,0 +1,35 @@
+module Make (C : Prob.CARRIER) = struct
+  let probability ~weight (t : Bdd.t) : C.t =
+    Bdd.fold_prob ~zero:C.zero ~one:C.one
+      ~node:(fun v plo phi ->
+        let p = weight v in
+        C.add (C.mul p phi) (C.mul (C.compl p) plo))
+      t
+
+  let probability_expr ~weight e =
+    (* First-occurrence variable order: keeps co-occurring variables
+       adjacent (linear BDDs for join lineages where a sorted-by-relation
+       order is exponential). *)
+    let order =
+      let tbl = Hashtbl.create 64 in
+      List.iteri (fun rank v -> Hashtbl.add tbl v rank) (Bool_expr.occurrence_order e);
+      fun v ->
+        match Hashtbl.find_opt tbl v with
+        | Some r -> r
+        | None -> v + Hashtbl.length tbl
+    in
+    let m = Bdd.manager ~order () in
+    probability ~weight (Bdd.of_expr m e)
+end
+
+let float_probability ~weight e =
+  let module M = Make (Prob.Float_carrier) in
+  M.probability_expr ~weight e
+
+let rational_probability ~weight e =
+  let module M = Make (Prob.Rational_carrier) in
+  M.probability_expr ~weight e
+
+let interval_probability ~weight e =
+  let module M = Make (Prob.Interval_carrier) in
+  M.probability_expr ~weight e

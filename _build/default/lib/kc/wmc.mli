@@ -1,0 +1,26 @@
+(** Weighted model counting over BDDs.
+
+    If the variables of a Boolean function are independent events with
+    known marginal probabilities (exactly the situation for lineages of
+    queries over tuple-independent PDBs), the probability that the
+    function holds is computed in one linear pass over its BDD:
+    [P(node) = p(var) * P(hi) + (1 - p(var)) * P(lo)].
+
+    Functorized over the probability carrier so the same code yields fast
+    float answers, exact rational answers, or certified interval
+    enclosures. *)
+
+module Make (C : Prob.CARRIER) : sig
+  val probability : weight:(int -> C.t) -> Bdd.t -> C.t
+  (** [weight v] is the marginal probability of variable [v]; it is
+      consulted only on the support. *)
+
+  val probability_expr : weight:(int -> C.t) -> Bool_expr.t -> C.t
+  (** Convenience: compile to a fresh BDD, then count. *)
+end
+
+val float_probability : weight:(int -> float) -> Bool_expr.t -> float
+val rational_probability :
+  weight:(int -> Rational.t) -> Bool_expr.t -> Rational.t
+val interval_probability :
+  weight:(int -> Interval.t) -> Bool_expr.t -> Interval.t

@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Format List Map Printf Set Stdlib String Value

@@ -1,0 +1,1 @@
+lib/logic/fo_eval.ml: Array Fact Fo Instance List Map Printf Set String Tuple Value

@@ -1,0 +1,1 @@
+lib/logic/fo_parse.ml: Array Buffer Fo List Printf String Value

@@ -1,0 +1,1 @@
+lib/logic/lineage.ml: Array Bool_expr Fact Fo List Map Option Printf Set String Value

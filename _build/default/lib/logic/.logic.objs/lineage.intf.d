@@ -1,0 +1,1 @@
+lib/logic/lineage.mli: Bool_expr Fact Fo Value

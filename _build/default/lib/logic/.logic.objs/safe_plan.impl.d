@@ -1,0 +1,1 @@
+lib/logic/safe_plan.ml: Array Fact Fo Fun Hashtbl List Map Option Prob Set String Value

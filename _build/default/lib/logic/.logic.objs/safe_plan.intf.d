@@ -1,0 +1,1 @@
+lib/logic/safe_plan.mli: Fact Fo Prob

@@ -1,0 +1,83 @@
+(** First-order logic over a relational vocabulary, expanded by constants
+    from the universe — the query language [FO(tau, U)] of Section 2.1.
+
+    Variables are named; constants are {!Value.t}.  Equality atoms and the
+    full Boolean/quantifier structure are supported. *)
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type cmp_op = Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Atom of string * term list  (** [R(t_1, ..., t_k)] *)
+  | Eq of term * term
+  | Cmp of cmp_op * term * term
+      (** Built-in order comparison, by the total order on {!Value.t}
+          (within a sort: the natural order; across sorts: the fixed sort
+          order).  Deterministic like [Eq]; usable e.g. for "office 1 is
+          warmer than office 2" in the paper's introduction scenario. *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+(** {1 Construction helpers} *)
+
+val atom : string -> term list -> t
+val v : string -> term
+val c : Value.t -> term
+val cint : int -> term
+val cstr : string -> term
+val lt : term -> term -> t
+val le : term -> term -> t
+val gt : term -> term -> t
+val ge : term -> term -> t
+
+val conj : t list -> t
+(** Right-nested conjunction; [True] on the empty list. *)
+
+val disj : t list -> t
+val exists_many : string list -> t -> t
+val forall_many : string list -> t -> t
+
+(** {1 Structure} *)
+
+val free_vars : t -> string list
+(** Sorted, duplicate-free. *)
+
+val is_sentence : t -> bool
+
+val quantifier_rank : t -> int
+(** Maximum quantifier nesting depth — the parameter [r] of
+    Proposition 6.1's r-equivalence argument. *)
+
+val constants : t -> Value.t list
+(** [adom(phi)]: all constants occurring in the formula, sorted. *)
+
+val relations : t -> (string * int) list
+(** Relation symbols used, with observed arities, sorted.
+    @raise Invalid_argument if a symbol occurs with two arities. *)
+
+val substitute : (string * Value.t) list -> t -> t
+(** Capture-free substitution of constants for free variables (bound
+    occurrences are untouched). *)
+
+val size : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Shape tests (for the safe-plan engine)} *)
+
+val is_positive : t -> bool
+(** No negation or implication. *)
+
+val is_quantifier_free : t -> bool

@@ -1,0 +1,266 @@
+(* Recursive-descent parser for the concrete FO syntax documented in the
+   interface.  Hand-rolled lexer; positions are tracked for error
+   messages. *)
+
+type token =
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_dot
+  | T_bang
+  | T_amp
+  | T_bar
+  | T_arrow
+  | T_eq
+  | T_neq
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_exists
+  | T_forall
+  | T_true
+  | T_false
+  | T_hash_t
+  | T_hash_f
+  | T_lident of string
+  | T_uident of string
+  | T_int of int
+  | T_string of string
+  | T_eof
+
+let token_to_string = function
+  | T_lparen -> "(" | T_rparen -> ")" | T_comma -> "," | T_dot -> "."
+  | T_bang -> "!" | T_amp -> "&" | T_bar -> "|" | T_arrow -> "->"
+  | T_eq -> "=" | T_neq -> "!=" | T_lt -> "<" | T_le -> "<="
+  | T_gt -> ">" | T_ge -> ">=" | T_exists -> "exists" | T_forall -> "forall"
+  | T_true -> "true" | T_false -> "false" | T_hash_t -> "#t" | T_hash_f -> "#f"
+  | T_lident s | T_uident s -> s
+  | T_int n -> string_of_int n
+  | T_string s -> Printf.sprintf "%S" s
+  | T_eof -> "<eof>"
+
+exception Err of string
+
+let lex input =
+  let n = String.length input in
+  let toks = ref [] in
+  let i = ref 0 in
+  let emit t = toks := t :: !toks in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = input.[!i] in
+    (match c with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | '(' -> emit T_lparen; incr i
+     | ')' -> emit T_rparen; incr i
+     | ',' -> emit T_comma; incr i
+     | '.' -> emit T_dot; incr i
+     | '&' -> emit T_amp; incr i
+     | '|' -> emit T_bar; incr i
+     | '=' -> emit T_eq; incr i
+     | '<' ->
+       if !i + 1 < n && input.[!i + 1] = '=' then begin emit T_le; i := !i + 2 end
+       else begin emit T_lt; incr i end
+     | '>' ->
+       if !i + 1 < n && input.[!i + 1] = '=' then begin emit T_ge; i := !i + 2 end
+       else begin emit T_gt; incr i end
+     | '!' ->
+       if !i + 1 < n && input.[!i + 1] = '=' then begin emit T_neq; i := !i + 2 end
+       else begin emit T_bang; incr i end
+     | '-' ->
+       if !i + 1 < n && input.[!i + 1] = '>' then begin emit T_arrow; i := !i + 2 end
+       else begin
+         (* negative integer literal *)
+         let j = ref (!i + 1) in
+         while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do incr j done;
+         if !j = !i + 1 then raise (Err "stray '-'");
+         emit (T_int (int_of_string (String.sub input !i (!j - !i))));
+         i := !j
+       end
+     | '#' ->
+       if !i + 1 < n && input.[!i + 1] = 't' then begin emit T_hash_t; i := !i + 2 end
+       else if !i + 1 < n && input.[!i + 1] = 'f' then begin emit T_hash_f; i := !i + 2 end
+       else raise (Err "expected #t or #f")
+     | '"' ->
+       let buf = Buffer.create 8 in
+       let j = ref (!i + 1) in
+       let closed = ref false in
+       while (not !closed) && !j < n do
+         (match input.[!j] with
+          | '"' -> closed := true
+          | '\\' when !j + 1 < n ->
+            incr j;
+            Buffer.add_char buf input.[!j]
+          | c -> Buffer.add_char buf c);
+         incr j
+       done;
+       if not !closed then raise (Err "unterminated string literal");
+       emit (T_string (Buffer.contents buf));
+       i := !j
+     | '0' .. '9' ->
+       let j = ref !i in
+       while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do incr j done;
+       emit (T_int (int_of_string (String.sub input !i (!j - !i))));
+       i := !j
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+       let j = ref !i in
+       while !j < n && is_ident_char input.[!j] do incr j done;
+       let s = String.sub input !i (!j - !i) in
+       i := !j;
+       (match s with
+        | "exists" -> emit T_exists
+        | "forall" -> emit T_forall
+        | "true" -> emit T_true
+        | "false" -> emit T_false
+        | _ ->
+          if s.[0] >= 'A' && s.[0] <= 'Z' then emit (T_uident s)
+          else emit (T_lident s))
+     | c -> raise (Err (Printf.sprintf "unexpected character %C" c)))
+  done;
+  emit T_eof;
+  Array.of_list (List.rev !toks)
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    raise
+      (Err
+         (Printf.sprintf "expected %s but found %s" (token_to_string t)
+            (token_to_string (peek st))))
+
+let parse_term st =
+  match peek st with
+  | T_lident x -> advance st; Fo.Var x
+  | T_int n -> advance st; Fo.Const (Value.Int n)
+  | T_string s -> advance st; Fo.Const (Value.Str s)
+  | T_hash_t -> advance st; Fo.Const (Value.Bool true)
+  | T_hash_f -> advance st; Fo.Const (Value.Bool false)
+  | t -> raise (Err (Printf.sprintf "expected a term, found %s" (token_to_string t)))
+
+(* Precedence climbing: implies < or < and < not/atom. *)
+let rec parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | T_arrow ->
+    advance st;
+    Fo.Implies (lhs, parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | T_bar ->
+      advance st;
+      loop (Fo.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | T_amp ->
+      advance st;
+      loop (Fo.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | T_bang ->
+    advance st;
+    Fo.Not (parse_unary st)
+  | T_exists | T_forall ->
+    let forall = peek st = T_forall in
+    advance st;
+    let rec vars acc =
+      match peek st with
+      | T_lident x -> advance st; vars (x :: acc)
+      | T_dot ->
+        advance st;
+        if acc = [] then raise (Err "quantifier with no variables");
+        List.rev acc
+      | t ->
+        raise
+          (Err
+             (Printf.sprintf "expected variable or '.', found %s"
+                (token_to_string t)))
+    in
+    let xs = vars [] in
+    let body = parse_implies st in
+    if forall then Fo.forall_many xs body else Fo.exists_many xs body
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | T_true -> advance st; Fo.True
+  | T_false -> advance st; Fo.False
+  | T_lparen ->
+    advance st;
+    let f = parse_implies st in
+    expect st T_rparen;
+    f
+  | T_uident r ->
+    advance st;
+    expect st T_lparen;
+    if peek st = T_rparen then begin
+      advance st;
+      Fo.Atom (r, [])
+    end
+    else begin
+      let rec args acc =
+        let t = parse_term st in
+        match peek st with
+        | T_comma -> advance st; args (t :: acc)
+        | T_rparen -> advance st; List.rev (t :: acc)
+        | tok ->
+          raise
+            (Err
+               (Printf.sprintf "expected ',' or ')', found %s"
+                  (token_to_string tok)))
+      in
+      Fo.Atom (r, args [])
+    end
+  | T_lident _ | T_int _ | T_string _ | T_hash_t | T_hash_f ->
+    (* equality or inequality between terms *)
+    let a = parse_term st in
+    (match peek st with
+     | T_eq -> advance st; Fo.Eq (a, parse_term st)
+     | T_neq -> advance st; Fo.Not (Fo.Eq (a, parse_term st))
+     | T_lt -> advance st; Fo.Cmp (Fo.Lt, a, parse_term st)
+     | T_le -> advance st; Fo.Cmp (Fo.Le, a, parse_term st)
+     | T_gt -> advance st; Fo.Cmp (Fo.Gt, a, parse_term st)
+     | T_ge -> advance st; Fo.Cmp (Fo.Ge, a, parse_term st)
+     | t ->
+       raise
+         (Err
+            (Printf.sprintf "expected a comparison operator, found %s"
+               (token_to_string t))))
+  | t -> raise (Err (Printf.sprintf "unexpected token %s" (token_to_string t)))
+
+let parse input =
+  match
+    let st = { toks = lex input; pos = 0 } in
+    let f = parse_implies st in
+    expect st T_eof;
+    f
+  with
+  | f -> Ok f
+  | exception Err msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok f -> f
+  | Error msg -> invalid_arg (Printf.sprintf "Fo_parse: %s in %S" msg input)

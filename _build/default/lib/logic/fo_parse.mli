@@ -1,0 +1,26 @@
+(** A small concrete syntax for first-order queries.
+
+    Grammar (precedence low to high: [->], [|], [&], [!], quantifiers bind
+    to the end of the formula):
+
+    {v
+    phi  ::= 'exists' x1 ... xk '.' phi
+           | 'forall' x1 ... xk '.' phi
+           | phi '->' phi | phi '|' phi | phi '&' phi
+           | '!' phi | '(' phi ')'
+           | Name '(' term (',' term)* ')' | Name '(' ')'
+           | term '=' term | term '!=' term
+           | term ('<' | '<=' | '>' | '>=') term
+           | 'true' | 'false'
+    term ::= variable            (identifier starting lowercase)
+           | integer literal     (e.g. 42, -7)
+           | string literal      (e.g. "abc")
+           | '#t' | '#f'         (boolean constants)
+    v}
+
+    Relation names start with an uppercase letter. *)
+
+val parse : string -> (Fo.t, string) result
+val parse_exn : string -> Fo.t
+(** @raise Invalid_argument with a message pointing at the offending
+    token. *)

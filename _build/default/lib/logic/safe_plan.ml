@@ -1,0 +1,260 @@
+(* Safe-plan lifted inference for hierarchical Boolean CQs without
+   self-joins.
+
+   The evaluation recursion mirrors the textbook algorithm:
+     - ground atoms factor out as independent events;
+     - connected components (by shared variables) are independent;
+     - a variable occurring in all atoms of a component is a "root":
+       its values are independent alternatives, so
+       P = 1 - prod_a (1 - P(Q[x := a]));
+     - if a non-ground connected component has no root variable the query
+       is non-hierarchical and we refuse (the lineage engine handles it).
+
+   No self-joins means distinct atoms always touch disjoint sets of facts,
+   which is what makes the independence claims above sound. *)
+
+type atom = { rel : string; args : Fo.term list }
+
+type cq = { atoms : atom list }
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+module VSet = Set.Make (Value)
+
+(* ------------------------------------------------------------------ *)
+(* Shape recognition *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_exists = function
+  | Fo.Exists (_, f) -> strip_exists f
+  | f -> f
+
+let rec gather_conjuncts acc = function
+  | Fo.And (f, g) -> gather_conjuncts (gather_conjuncts acc f) g
+  | f -> f :: acc
+
+let of_sentence phi =
+  if Fo.free_vars phi <> [] then None
+  else begin
+    let body = strip_exists phi in
+    let conjuncts = gather_conjuncts [] body in
+    (* Collect variable = constant equalities to substitute away. *)
+    let rec collect eqs atoms = function
+      | [] -> Some (eqs, atoms)
+      | Fo.Atom (r, ts) :: rest -> collect eqs ({ rel = r; args = ts } :: atoms) rest
+      | Fo.Eq (Fo.Var x, Fo.Const v) :: rest
+      | Fo.Eq (Fo.Const v, Fo.Var x) :: rest ->
+        collect ((x, v) :: eqs) atoms rest
+      | Fo.Eq (Fo.Const v, Fo.Const w) :: rest ->
+        if Value.equal v w then collect eqs atoms rest else None
+      | Fo.True :: rest -> collect eqs atoms rest
+      | _ -> None
+    in
+    match collect [] [] conjuncts with
+    | None -> None
+    | Some (eqs, atoms) ->
+      (* Apply substitutions until fixpoint (chains x = c only, so one
+         pass is enough). *)
+      let subst_term t =
+        match t with
+        | Fo.Var x -> (
+            match List.assoc_opt x eqs with
+            | Some v -> Fo.Const v
+            | None -> t)
+        | Fo.Const _ -> t
+      in
+      Some { atoms = List.map (fun a -> { a with args = List.map subst_term a.args }) atoms }
+  end
+
+let atom_vars a =
+  List.fold_left
+    (fun acc t -> match t with Fo.Var x -> SSet.add x acc | Fo.Const _ -> acc)
+    SSet.empty a.args
+
+let has_self_join q =
+  let rec go seen = function
+    | [] -> false
+    | a :: rest -> SSet.mem a.rel seen || go (SSet.add a.rel seen) rest
+  in
+  go SSet.empty q.atoms
+
+let is_hierarchical q =
+  (* sg(x) = indices of atoms containing x; hierarchical iff all pairs of
+     sg sets are nested or disjoint. *)
+  let sg = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      SSet.iter
+        (fun x ->
+          let cur = Option.value (Hashtbl.find_opt sg x) ~default:[] in
+          Hashtbl.replace sg x (i :: cur))
+        (atom_vars a))
+    q.atoms;
+  let sets = Hashtbl.fold (fun _ is acc -> SSet.of_list (List.map string_of_int is) :: acc) sg [] in
+  List.for_all
+    (fun s1 ->
+      List.for_all
+        (fun s2 ->
+          SSet.subset s1 s2 || SSet.subset s2 s1
+          || SSet.is_empty (SSet.inter s1 s2))
+        sets)
+    sets
+
+let is_safe phi =
+  match of_sentence phi with
+  | None -> false
+  | Some q -> (not (has_self_join q)) && is_hierarchical q
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsafe
+
+module Make (C : Prob.CARRIER) = struct
+  (* Index the TI table per relation for candidate matching. *)
+  let index facts =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun f ->
+        let cur = Option.value (Hashtbl.find_opt tbl (Fact.rel f)) ~default:[] in
+        Hashtbl.replace tbl (Fact.rel f) (f :: cur))
+      facts;
+    tbl
+
+  (* Does a ground-or-not atom pattern match a fact's argument list? *)
+  let matches atom fact =
+    Fact.arity fact = List.length atom.args
+    && List.for_all2
+         (fun t v ->
+           match t with
+           | Fo.Const c -> Value.equal c v
+           | Fo.Var _ -> true)
+         atom.args (Fact.args fact)
+
+  let candidate_values idx atoms x =
+    (* Values v such that substituting x := v keeps at least one atom
+       matchable; union over atoms containing x of the values at x's
+       positions in matching facts. *)
+    List.fold_left
+      (fun acc a ->
+        if not (SSet.mem x (atom_vars a)) then acc
+        else begin
+          let facts = Option.value (Hashtbl.find_opt idx a.rel) ~default:[] in
+          List.fold_left
+            (fun acc f ->
+              if matches a f then begin
+                let acc = ref acc in
+                List.iteri
+                  (fun i t ->
+                    match t with
+                    | Fo.Var y when y = x ->
+                      acc := VSet.add (Fact.arg f i) !acc
+                    | _ -> ())
+                  a.args;
+                !acc
+              end
+              else acc)
+            acc facts
+        end)
+      VSet.empty atoms
+
+  let subst_atom x v a =
+    {
+      a with
+      args =
+        List.map
+          (function
+            | Fo.Var y when y = x -> Fo.Const v
+            | t -> t)
+          a.args;
+    }
+
+  let is_ground a =
+    List.for_all (function Fo.Const _ -> true | Fo.Var _ -> false) a.args
+
+  (* Connected components of atoms under shared variables. *)
+  let components atoms =
+    let arr = Array.of_list atoms in
+    let n = Array.length arr in
+    let parent = Array.init n Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if not (SSet.is_empty (SSet.inter (atom_vars arr.(i)) (atom_vars arr.(j))))
+        then union i j
+      done
+    done;
+    let buckets = Hashtbl.create 8 in
+    for i = n - 1 downto 0 do
+      let r = find i in
+      let cur = Option.value (Hashtbl.find_opt buckets r) ~default:[] in
+      Hashtbl.replace buckets r (arr.(i) :: cur)
+    done;
+    Hashtbl.fold (fun _ c acc -> c :: acc) buckets []
+
+  let rec prob idx weight atoms =
+    (* 1. Factor out ground atoms (independent: no self-joins). *)
+    let ground, open_atoms = List.partition is_ground atoms in
+    let ground_p =
+      List.fold_left
+        (fun acc a ->
+          let f =
+            Fact.make a.rel
+              (List.map
+                 (function Fo.Const v -> v | Fo.Var _ -> assert false)
+                 a.args)
+          in
+          C.mul acc (weight f))
+        C.one ground
+    in
+    match open_atoms with
+    | [] -> ground_p
+    | _ ->
+      (* 2. Independent connected components. *)
+      let comps = components open_atoms in
+      let comp_p =
+        List.fold_left
+          (fun acc comp -> C.mul acc (prob_component idx weight comp))
+          C.one comps
+      in
+      C.mul ground_p comp_p
+
+  and prob_component idx weight comp =
+    (* 3. Find a root variable: occurs in every atom of the component. *)
+    let var_sets = List.map atom_vars comp in
+    let shared =
+      match var_sets with
+      | [] -> SSet.empty
+      | s :: rest -> List.fold_left SSet.inter s rest
+    in
+    match SSet.choose_opt shared with
+    | None -> raise Unsafe
+    | Some x ->
+      (* Independent project: x's values are independent alternatives. *)
+      let values = candidate_values idx comp x in
+      let miss_all =
+        VSet.fold
+          (fun v acc ->
+            let grounded = List.map (subst_atom x v) comp in
+            C.mul acc (C.compl (prob idx weight grounded)))
+          values C.one
+      in
+      C.compl miss_all
+
+  let probability ~weight ~facts phi =
+    match of_sentence phi with
+    | None -> None
+    | Some q ->
+      if has_self_join q then None
+      else begin
+        let idx = index facts in
+        match prob idx weight q.atoms with
+        | p -> Some p
+        | exception Unsafe -> None
+      end
+end

@@ -1,0 +1,43 @@
+(** Lifted ("extensional", safe-plan) inference for hierarchical Boolean
+    conjunctive queries over tuple-independent tables.
+
+    This is the classical Dalvi-Suciu dichotomy's tractable side, built as
+    one of the interchangeable "traditional closed-world query evaluation
+    algorithms" that Proposition 6.1 plugs into: for a Boolean CQ without
+    self-joins whose variable structure is hierarchical, the probability
+    is computed in polynomial time by independent-project and
+    independent-join steps — no lineage compilation needed.
+
+    Queries outside the supported shape are rejected with [None]
+    (completeness is the lineage engine's job, not this one's). *)
+
+type cq
+(** A Boolean conjunctive query: [exists x1...xk. A_1 & ... & A_m] with
+    positive relational atoms. *)
+
+val of_sentence : Fo.t -> cq option
+(** Recognizes sentences of CQ shape.  Equality atoms between a variable
+    and a constant are folded in by substitution; [None] for anything
+    else (negation, disjunction, universal quantifiers, free variables,
+    variable-variable equalities). *)
+
+val has_self_join : cq -> bool
+(** Two atoms sharing a relation symbol. *)
+
+val is_hierarchical : cq -> bool
+(** For every two variables, their atom sets are nested or disjoint —
+    the safety criterion for CQs without self-joins. *)
+
+val is_safe : Fo.t -> bool
+(** CQ shape, no self-joins, hierarchical. *)
+
+module Make (C : Prob.CARRIER) : sig
+  val probability :
+    weight:(Fact.t -> C.t) -> facts:Fact.t list -> Fo.t -> C.t option
+  (** [probability ~weight ~facts q]: the probability of the Boolean query
+      [q] in the tuple-independent PDB whose possible facts are [facts]
+      with marginals [weight].  [None] when the query is not safe.
+      Existential quantifiers range over the values occurring in [facts]
+      (plus the query's constants), matching the lineage engine's
+      domain. *)
+end

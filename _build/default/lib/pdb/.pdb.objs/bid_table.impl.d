@@ -1,0 +1,1 @@
+lib/pdb/bid_table.ml: Array Fact Fo Format Hashtbl Instance List Map Option Printf Prng Rational Seq String Ti_table Value

@@ -1,0 +1,1 @@
+lib/pdb/bid_table.mli: Fact Fo Format Instance Prng Rational Schema Seq Ti_table

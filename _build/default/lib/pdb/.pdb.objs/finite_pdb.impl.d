@@ -1,0 +1,1 @@
+lib/pdb/finite_pdb.ml: Array Bid_table Fact Fo_eval Format Hashtbl Instance List Map Option Printf Prng Rational String Ti_table Tuple

@@ -1,0 +1,1 @@
+lib/pdb/finite_pdb.mli: Bid_table Fact Fo Format Instance Prng Rational Ti_table

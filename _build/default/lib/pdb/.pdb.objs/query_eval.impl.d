@@ -1,0 +1,1 @@
+lib/pdb/query_eval.ml: Array Dnf Finite_pdb Float Fo Fo_eval Instance Lineage List Printf Prng Prob Rational Safe_plan Seq Stdlib String Ti_table Tuple Value Wmc

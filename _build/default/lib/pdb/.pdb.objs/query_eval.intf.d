@@ -1,0 +1,1 @@
+lib/pdb/query_eval.mli: Fact Finite_pdb Fo Interval Prob Rational Ti_table Tuple

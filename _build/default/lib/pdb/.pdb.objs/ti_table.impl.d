@@ -1,0 +1,1 @@
+lib/pdb/ti_table.ml: Array Fact Format Instance List Option Printf Prng Rational Schema Seq String

@@ -1,0 +1,1 @@
+lib/pdb/ti_table.mli: Fact Format Instance Prng Rational Schema Seq Value

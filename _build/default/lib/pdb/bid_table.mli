@@ -1,0 +1,63 @@
+(** Finite block-independent-disjoint (BID) probabilistic databases.
+
+    The possible facts are partitioned into blocks; facts within a block
+    are mutually exclusive (at most one occurs), distinct blocks are
+    independent (Definition 4.11; finitely many finite blocks here, the
+    countable generalization lives in the [iowpdb] library).  Each block
+    [B] carries probabilities [p^B_f] with [sum_{f in B} p^B_f <= 1]; the
+    slack is the probability that the block contributes no fact. *)
+
+type t
+
+type block = { block_id : string; alternatives : (Fact.t * Rational.t) list }
+
+val create : ?schema:Schema.t -> block list -> t
+(** @raise Invalid_argument on duplicate block ids, a fact occurring
+    twice (within or across blocks), probabilities outside [\[0,1\]], or a
+    block whose probabilities sum above 1. *)
+
+val blocks : t -> block list
+val block_of_fact : t -> Fact.t -> string option
+val prob : t -> Fact.t -> Rational.t
+
+val block_slack : t -> string -> Rational.t
+(** [1 - sum of the block's probabilities]: the "no fact from this block"
+    mass. @raise Invalid_argument on an unknown block id. *)
+
+val support : t -> Fact.t list
+val size : t -> int
+val num_blocks : t -> int
+
+val expected_instance_size : t -> Rational.t
+
+val is_good_instance : t -> Instance.t -> bool
+(** At most one fact per block and all facts in the support — the "good
+    instance" notion of Proposition 4.13's proof. *)
+
+val world_probability : t -> Instance.t -> Rational.t
+(** Zero on bad instances. *)
+
+val worlds : t -> (Instance.t * Rational.t) Seq.t
+(** All good worlds: the product over blocks of (alternatives + 1).
+    @raise Invalid_argument when that product exceeds [2^20]. *)
+
+val sample : t -> Prng.t -> Instance.t
+
+val of_ti : Ti_table.t -> t
+(** Singleton blocks: tuple-independence as the special case noted after
+    Definition 4.11. *)
+
+val ti_simulation : t -> Ti_table.t * (string * Fo.t) list
+(** The classical finite-case definability result the paper's Section 4.3
+    discussion builds on: every finite BID PDB is an FO view of a
+    tuple-independent PDB.  Returns an auxiliary TI table over a fresh
+    relation [Choose(block, alt)] whose probabilities are the
+    chain-conditional [p_i / (1 - p_1 - ... - p_{i-1})], together with FO
+    view definitions (one formula per target relation) such that applying
+    the view to the TI worlds reproduces this BID distribution exactly
+    ([Finite_pdb.equal_distribution] in the tests).  Proposition 4.9 shows
+    precisely this kind of simulation cannot exist for all {e countable}
+    PDBs. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

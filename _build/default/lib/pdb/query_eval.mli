@@ -1,0 +1,92 @@
+(** Query evaluation over finite probabilistic databases.
+
+    Four interchangeable engines for Boolean first-order queries over
+    tuple-independent tables — the "traditional closed-world query
+    evaluation algorithm" that the approximation scheme of Proposition 6.1
+    invokes on its truncated PDB:
+
+    - {b Enumeration}: sum over all [2^n] worlds.  Exact, exponential;
+      the ground-truth oracle.
+    - {b Lineage + BDD}: compile the query's lineage, weighted model
+      count.  Exact, fast in practice, handles all of FO.
+    - {b Safe plan}: lifted inference, polynomial, only for hierarchical
+      CQs without self-joins (falls back to [None] otherwise).
+    - {b Monte Carlo}: sample worlds; anytime estimate with a standard
+      error.
+
+    Quantifiers in all engines range over the same fixed domain — the
+    active domain of the table's support plus the query's constants — so
+    the engines are mutually comparable and cross-checked in the test
+    suite.
+
+    All engines also exist for explicit world tables ({!Finite_pdb}). *)
+
+type mc_result = {
+  estimate : float;
+  std_error : float;
+  samples : int;
+}
+
+(** {1 Boolean queries on TI tables} *)
+
+val boolean_enum : Ti_table.t -> Fo.t -> Rational.t
+(** @raise Invalid_argument if the support exceeds 20 facts or the query
+    has free variables. *)
+
+val boolean_bdd_rational : Ti_table.t -> Fo.t -> Rational.t
+val boolean_bdd_float : Ti_table.t -> Fo.t -> float
+val boolean_bdd_interval : Ti_table.t -> Fo.t -> Interval.t
+
+val boolean_safe : Ti_table.t -> Fo.t -> Rational.t option
+(** [None] when the query is not a safe (hierarchical, self-join-free)
+    conjunctive query. *)
+
+val boolean_mc : ?seed:int -> samples:int -> Ti_table.t -> Fo.t -> mc_result
+
+val boolean_mc_adaptive :
+  ?seed:int -> eps:float -> delta:float -> Ti_table.t -> Fo.t -> mc_result
+(** Monte Carlo with an a-priori (eps, delta) additive guarantee: the
+    Hoeffding bound fixes the sample count at
+    [ceil (ln(2/delta) / (2 eps^2))], so
+    [P(|estimate - P(Q)| > eps) <= delta].  Pairs with Proposition 6.1:
+    truncation contributes eps_1, sampling eps_2, total additive error
+    eps_1 + eps_2 with confidence 1 - delta. *)
+
+val boolean_karp_luby :
+  ?seed:int -> samples:int -> Ti_table.t -> Fo.t -> mc_result option
+(** The Karp-Luby FPRAS on the query's monotone DNF lineage: the relative
+    error is independent of how small [P(Q)] is (plain MC needs
+    [1/P(Q)] samples to even see a hit).  [None] when the lineage is not
+    monotone (the query uses negation/implication in an essential way) or
+    its DNF exceeds the internal clause bound. *)
+
+val boolean : Ti_table.t -> Fo.t -> Rational.t
+(** The default exact engine: safe plan when applicable, lineage + BDD
+    otherwise. *)
+
+(** {1 Boolean queries on explicit world tables} *)
+
+val boolean_finite : Finite_pdb.t -> Fo.t -> Rational.t
+(** Direct summation; the evaluation domain is the active domain of the
+    PDB's fact universe plus the query's constants. *)
+
+(** {1 Queries with free variables (Section 3.1 marginals)} *)
+
+val marginals : Ti_table.t -> Fo.t -> (Tuple.t * Rational.t) list
+(** [marginals ti phi]: for each valuation [a-bar] of the free variables
+    (drawn from the evaluation domain), the probability that [a-bar]
+    belongs to the answer — nonzero entries only, in tuple order.
+    @raise Invalid_argument beyond 3 free variables (combinatorial
+    safety valve). *)
+
+val marginals_finite : Finite_pdb.t -> Fo.t -> (Tuple.t * Rational.t) list
+
+(** {1 Generic engine over any carrier} *)
+
+module Make (C : Prob.CARRIER) : sig
+  val weight_of_table : Ti_table.t -> Fact.t -> C.t
+
+  val boolean_bdd : Ti_table.t -> Fo.t -> C.t
+  val boolean_safe : Ti_table.t -> Fo.t -> C.t option
+  val boolean : Ti_table.t -> Fo.t -> C.t
+end

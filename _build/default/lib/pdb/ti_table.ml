@@ -1,0 +1,136 @@
+type t = {
+  schema : Schema.t option;
+  probs : Rational.t Fact.Map.t; (* invariant: values in (0, 1] *)
+}
+
+let validate_prob f p =
+  if not (Rational.is_probability p) then
+    invalid_arg
+      (Printf.sprintf "Ti_table: probability %s out of range for %s"
+         (Rational.to_string p) (Fact.to_string f))
+
+let validate_schema schema f =
+  match schema with
+  | Some s when not (Fact.conforms s f) ->
+    invalid_arg
+      (Printf.sprintf "Ti_table: fact %s does not conform to the schema"
+         (Fact.to_string f))
+  | _ -> ()
+
+let create ?schema entries =
+  let probs =
+    List.fold_left
+      (fun acc (f, p) ->
+        validate_prob f p;
+        validate_schema schema f;
+        if Fact.Map.mem f acc then
+          invalid_arg
+            (Printf.sprintf "Ti_table: duplicate fact %s" (Fact.to_string f))
+        else if Rational.is_zero p then acc
+        else Fact.Map.add f p acc)
+      Fact.Map.empty entries
+  in
+  { schema; probs }
+
+let empty = { schema = None; probs = Fact.Map.empty }
+
+let schema t = t.schema
+let facts t = Fact.Map.bindings t.probs
+let support t = List.map fst (facts t)
+
+let prob t f =
+  Option.value (Fact.Map.find_opt f t.probs) ~default:Rational.zero
+
+let mem t f = Fact.Map.mem f t.probs
+let size t = Fact.Map.cardinal t.probs
+
+let add t f p =
+  validate_prob f p;
+  validate_schema t.schema f;
+  if Rational.is_zero p then { t with probs = Fact.Map.remove f t.probs }
+  else { t with probs = Fact.Map.add f p t.probs }
+
+let remove t f = { t with probs = Fact.Map.remove f t.probs }
+
+let expected_instance_size t =
+  Fact.Map.fold (fun _ p acc -> Rational.add acc p) t.probs Rational.zero
+
+let world_probability t inst =
+  if not (Instance.for_all (fun f -> mem t f) inst) then Rational.zero
+  else
+    Fact.Map.fold
+      (fun f p acc ->
+        Rational.mul acc
+          (if Instance.mem f inst then p else Rational.compl p))
+      t.probs Rational.one
+
+let worlds t =
+  let entries = Array.of_list (facts t) in
+  let n = Array.length entries in
+  if n > 20 then invalid_arg "Ti_table.worlds: support too large to enumerate";
+  Seq.init (1 lsl n) (fun mask ->
+      let inst = ref Instance.empty and p = ref Rational.one in
+      for i = 0 to n - 1 do
+        let f, pf = entries.(i) in
+        if mask land (1 lsl i) <> 0 then begin
+          inst := Instance.add f !inst;
+          p := Rational.mul !p pf
+        end
+        else p := Rational.mul !p (Rational.compl pf)
+      done;
+      (!inst, !p))
+
+let sample t g =
+  Fact.Map.fold
+    (fun f p acc ->
+      if Prng.bernoulli_rational g p then Instance.add f acc else acc)
+    t.probs Instance.empty
+
+let marginal_check t f =
+  Seq.fold_left
+    (fun acc (inst, p) ->
+      if Instance.mem f inst then Rational.add acc p else acc)
+    Rational.zero (worlds t)
+
+let active_domain t =
+  Instance.active_domain (Instance.of_list (support t))
+
+let restrict t keep = { t with probs = Fact.Map.filter (fun f _ -> keep f) t.probs }
+
+let to_string t =
+  String.concat "\n"
+    (List.map
+       (fun (f, p) ->
+         Printf.sprintf "%s %s" (Fact.to_string f) (Rational.to_string p))
+       (facts t))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_channel oc t =
+  output_string oc (to_string t);
+  output_char oc '\n'
+
+let of_lines lines =
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None
+        else begin
+          (* The probability is the text after the closing parenthesis. *)
+          match String.rindex_opt line ')' with
+          | None ->
+            invalid_arg (Printf.sprintf "Ti_table.of_lines: no fact in %S" line)
+          | Some i ->
+            let fact_str = String.sub line 0 (i + 1) in
+            let prob_str =
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            if prob_str = "" then
+              invalid_arg
+                (Printf.sprintf "Ti_table.of_lines: missing probability in %S" line)
+            else Some (Fact.of_string fact_str, Rational.of_string prob_str)
+        end)
+      lines
+  in
+  create entries

@@ -1,0 +1,68 @@
+(** Finite tuple-independent probabilistic databases.
+
+    A TI table assigns an exact rational marginal probability to each of
+    finitely many possible facts; all fact events are independent
+    (Section 2 of the paper; the standard model of Suciu et al.).  The
+    induced distribution over the [2^n] subsets of the support is the
+    finite instance of the construction of Section 4.1:
+    [P({D}) = prod_{f in D} p_f * prod_{f notin D} (1 - p_f)]. *)
+
+type t
+
+val create : ?schema:Schema.t -> (Fact.t * Rational.t) list -> t
+(** @raise Invalid_argument on duplicate facts, probabilities outside
+    [\[0,1\]], or (when a schema is given) non-conforming facts.
+    Facts with probability zero are dropped. *)
+
+val empty : t
+val schema : t -> Schema.t option
+
+val facts : t -> (Fact.t * Rational.t) list
+(** In fact order. *)
+
+val support : t -> Fact.t list
+val prob : t -> Fact.t -> Rational.t
+(** Zero for facts outside the support. *)
+
+val mem : t -> Fact.t -> bool
+val size : t -> int
+
+val add : t -> Fact.t -> Rational.t -> t
+(** Replaces any previous marginal. *)
+
+val remove : t -> Fact.t -> t
+
+val expected_instance_size : t -> Rational.t
+(** [E(S_D) = sum_f p_f] (equation (5) of the paper). *)
+
+val world_probability : t -> Instance.t -> Rational.t
+(** [P({D})]; zero if [D] contains facts outside the support. *)
+
+val worlds : t -> (Instance.t * Rational.t) Seq.t
+(** All [2^n] worlds with their probabilities.
+    @raise Invalid_argument when the support exceeds 20 facts. *)
+
+val sample : t -> Prng.t -> Instance.t
+(** Draw a world: each fact included independently (exact rational
+    Bernoulli draws). *)
+
+val marginal_check : t -> Fact.t -> Rational.t
+(** Recomputes [P(E_f)] by summing world probabilities — exponential;
+    for tests. *)
+
+val active_domain : t -> Value.t list
+
+val restrict : t -> (Fact.t -> bool) -> t
+(** Keep only the facts satisfying the predicate. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Text format} *)
+
+val to_channel : out_channel -> t -> unit
+(** One fact per line: [R(args...) p] with [p] rational or decimal. *)
+
+val of_lines : string list -> t
+(** Parses the same format; blank lines and [#] comments ignored.
+    @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,1 @@
+lib/prob/interval.ml: Float Format

@@ -1,0 +1,1 @@
+lib/prob/log_domain.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/prob/log_domain.mli: Format

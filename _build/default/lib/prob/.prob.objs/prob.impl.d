@@ -1,0 +1,1 @@
+lib/prob/prob.ml: Float Format Interval List Printf Rational Seq

@@ -1,0 +1,1 @@
+lib/prob/prob.mli: Format Interval Rational Seq

@@ -1,0 +1,69 @@
+(* Outward-rounded float intervals.  OCaml gives no access to the FPU
+   rounding mode, so we widen every result by one ulp on each side via
+   Float.pred/Float.succ; this over-approximates directed rounding and
+   keeps the enclosure property. *)
+
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg "Interval.make"
+  else { lo; hi }
+
+let point x = make x x
+
+let zero = point 0.0
+let one = point 1.0
+
+let lo x = x.lo
+let hi x = x.hi
+let width x = x.hi -. x.lo
+let mid x = if x.lo = x.hi then x.lo else 0.5 *. (x.lo +. x.hi)
+
+(* Unconditional one-ulp widening: cheap, and always sound. *)
+let down x = Float.pred x
+let up x = Float.succ x
+
+let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+let sub a b = { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  {
+    lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+    hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
+  }
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then raise Division_by_zero
+  else begin
+    let p1 = a.lo /. b.lo and p2 = a.lo /. b.hi in
+    let p3 = a.hi /. b.lo and p4 = a.hi /. b.hi in
+    {
+      lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+      hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
+    }
+  end
+
+let compl x = sub one x
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let contains x v = x.lo <= v && v <= x.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let clamp01 x =
+  match intersect x { lo = 0.0; hi = 1.0 } with
+  | Some r -> r
+  | None -> if x.hi < 0.0 then zero else one
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let compare_mid a b = Float.compare (mid a) (mid b)
+
+let pp fmt x = Format.fprintf fmt "[%.17g, %.17g]" x.lo x.hi

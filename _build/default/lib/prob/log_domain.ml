@@ -1,0 +1,53 @@
+type t = float (* the logarithm; neg_infinity encodes 0 *)
+
+let zero = neg_infinity
+let one = 0.0
+
+let of_float x =
+  if x < 0.0 || Float.is_nan x then invalid_arg "Log_domain.of_float"
+  else log x
+
+let of_log l = l
+let to_log l = l
+let to_float l = exp l
+
+let mul a b = a +. b
+
+let div a b =
+  if b = neg_infinity then raise Division_by_zero else a -. b
+
+(* logsumexp with the max factored out. *)
+let add a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else begin
+    let m = Float.max a b and n = Float.min a b in
+    m +. log1p (exp (n -. m))
+  end
+
+let sub a b =
+  if b = neg_infinity then a
+  else if b > a then invalid_arg "Log_domain.sub: negative result"
+  else if a = b then neg_infinity
+  else a +. log1p (-.exp (b -. a))
+
+let pow a k = a *. k
+
+let compare = Float.compare
+let equal (a : t) b = a = b
+let is_zero l = l = neg_infinity
+
+let one_minus p =
+  if p > 0.0 then invalid_arg "Log_domain.one_minus: argument above 1"
+  else if p = neg_infinity then one
+  else log1p (-.exp p)
+
+let product_compl ps =
+  List.fold_left
+    (fun acc p ->
+      if p < 0.0 || p > 1.0 || Float.is_nan p then
+        invalid_arg "Log_domain.product_compl"
+      else acc +. log1p (-.p))
+    one ps
+
+let pp fmt l = Format.fprintf fmt "exp(%.17g)" l

@@ -1,0 +1,45 @@
+(** Nonnegative reals represented by their natural logarithm.
+
+    Useful for the infinite products [prod (1 - p_f)] of the
+    tuple-independent construction, whose values underflow ordinary floats
+    long before the mathematics degenerates. *)
+
+type t
+(** Invariant: the payload is [log x] for some [x >= 0]; [neg_infinity]
+    represents [0]. *)
+
+val zero : t
+val one : t
+
+val of_float : float -> t
+(** @raise Invalid_argument on negative input. *)
+
+val of_log : float -> t
+(** Wrap a value already in log space. *)
+
+val to_float : t -> float
+val to_log : t -> float
+
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val add : t -> t -> t
+(** Log-sum-exp; numerically stable. *)
+
+val sub : t -> t -> t
+(** [sub a b] for [a >= b]; @raise Invalid_argument otherwise. *)
+
+val pow : t -> float -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val one_minus : t -> t
+(** [one_minus p] is [1 - p] computed via [log1p] for accuracy near 0
+    and 1. @raise Invalid_argument if [p > 1]. *)
+
+val product_compl : float list -> t
+(** [product_compl ps] is [prod (1 - p)] over the list, computed entirely
+    in log space with [log1p]; accurate even for thousands of tiny
+    factors. @raise Invalid_argument if any [p] is outside [\[0, 1\]]. *)

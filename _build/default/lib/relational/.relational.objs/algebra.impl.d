@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Hashtbl Instance List Schema Tuple Value

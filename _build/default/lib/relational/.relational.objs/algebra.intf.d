@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Instance Schema Tuple Value

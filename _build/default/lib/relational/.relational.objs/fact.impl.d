@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Buffer Format Hashtbl List Map Printf Schema Set Stdlib String Value

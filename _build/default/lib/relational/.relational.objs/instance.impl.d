@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Fact Format List Seq Set String Value

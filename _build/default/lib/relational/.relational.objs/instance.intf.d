@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Fact Format Schema Seq Value

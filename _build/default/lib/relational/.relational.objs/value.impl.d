@@ -1,0 +1,1 @@
+lib/relational/value.ml: Buffer Float Format Fun Hashtbl Printf Scanf Seq Stdlib String

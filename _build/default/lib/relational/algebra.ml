@@ -1,0 +1,98 @@
+type expr =
+  | Rel of string
+  | Const of Tuple.t list
+  | Select of (Tuple.t -> bool) * expr
+  | Select_eq of int * Value.t * expr
+  | Project of int list * expr
+  | Product of expr * expr
+  | Join of (int * int) list * expr * expr
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+
+let rec arity_of schema = function
+  | Rel name -> (Schema.find_exn schema name).Schema.arity
+  | Const [] -> 0
+  | Const (t :: rest) ->
+    let a = Array.length t in
+    List.iter
+      (fun t' ->
+        if Array.length t' <> a then
+          invalid_arg "Algebra: ragged constant relation")
+      rest;
+    a
+  | Select (_, e) -> arity_of schema e
+  | Select_eq (i, _, e) ->
+    let a = arity_of schema e in
+    if i < 0 || i >= a then invalid_arg "Algebra: select column out of range";
+    a
+  | Project (cols, e) ->
+    let a = arity_of schema e in
+    List.iter
+      (fun c ->
+        if c < 0 || c >= a then
+          invalid_arg "Algebra: projection column out of range")
+      cols;
+    List.length cols
+  | Product (l, r) -> arity_of schema l + arity_of schema r
+  | Join (eqs, l, r) ->
+    let al = arity_of schema l and ar = arity_of schema r in
+    List.iter
+      (fun (i, j) ->
+        if i < 0 || i >= al || j < 0 || j >= ar then
+          invalid_arg "Algebra: join column out of range")
+      eqs;
+    al + ar
+  | Union (l, r) | Inter (l, r) | Diff (l, r) ->
+    let al = arity_of schema l and ar = arity_of schema r in
+    if al <> ar then invalid_arg "Algebra: set operation arity mismatch";
+    al
+
+let rec eval_raw schema inst = function
+  | Rel name ->
+    Tuple.Set.of_list (Instance.tuples_of inst name)
+  | Const ts -> Tuple.Set.of_list ts
+  | Select (p, e) -> Tuple.Set.filter p (eval_raw schema inst e)
+  | Select_eq (i, v, e) ->
+    Tuple.Set.filter (fun t -> Value.equal t.(i) v) (eval_raw schema inst e)
+  | Project (cols, e) ->
+    Tuple.Set.fold
+      (fun t acc ->
+        Tuple.Set.add (Array.of_list (List.map (fun c -> t.(c)) cols)) acc)
+      (eval_raw schema inst e) Tuple.Set.empty
+  | Product (l, r) ->
+    let lv = eval_raw schema inst l and rv = eval_raw schema inst r in
+    Tuple.Set.fold
+      (fun tl acc ->
+        Tuple.Set.fold
+          (fun tr acc -> Tuple.Set.add (Array.append tl tr) acc)
+          rv acc)
+      lv Tuple.Set.empty
+  | Join (eqs, l, r) ->
+    let lv = eval_raw schema inst l and rv = eval_raw schema inst r in
+    (* Hash the right side on its join key. *)
+    let key_of cols t = Array.of_list (List.map (fun c -> t.(c)) cols) in
+    let lcols = List.map fst eqs and rcols = List.map snd eqs in
+    let index = Hashtbl.create 64 in
+    Tuple.Set.iter
+      (fun tr ->
+        let k = key_of rcols tr in
+        Hashtbl.add index (Tuple.to_string k) tr)
+      rv;
+    Tuple.Set.fold
+      (fun tl acc ->
+        let k = key_of lcols tl in
+        List.fold_left
+          (fun acc tr -> Tuple.Set.add (Array.append tl tr) acc)
+          acc
+          (Hashtbl.find_all index (Tuple.to_string k)))
+      lv Tuple.Set.empty
+  | Union (l, r) -> Tuple.Set.union (eval_raw schema inst l) (eval_raw schema inst r)
+  | Inter (l, r) -> Tuple.Set.inter (eval_raw schema inst l) (eval_raw schema inst r)
+  | Diff (l, r) -> Tuple.Set.diff (eval_raw schema inst l) (eval_raw schema inst r)
+
+let eval schema inst e =
+  ignore (arity_of schema e);
+  eval_raw schema inst e
+
+let eval_list schema inst e = Tuple.Set.elements (eval schema inst e)

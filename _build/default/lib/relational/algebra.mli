@@ -1,0 +1,31 @@
+(** A small positional relational algebra over deterministic instances.
+
+    Used by the examples and as the deterministic reference point for the
+    probabilistic engines: a safe plan evaluated extensionally over a
+    tuple-independent PDB has exactly this algebra as its shape. *)
+
+type expr =
+  | Rel of string  (** all tuples of a base relation *)
+  | Const of Tuple.t list  (** a literal relation *)
+  | Select of (Tuple.t -> bool) * expr
+  | Select_eq of int * Value.t * expr  (** column = constant *)
+  | Project of int list * expr  (** keep the listed columns, in order *)
+  | Product of expr * expr
+  | Join of (int * int) list * expr * expr
+      (** equi-join: pairs [(i, j)] equate column [i] of the left operand
+          with column [j] of the right; the result concatenates both
+          tuples. *)
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+
+val arity_of : Schema.t -> expr -> int
+(** Static arity of the result.
+    @raise Invalid_argument on arity mismatches (union of different
+    widths, projection out of range, unknown relation...). *)
+
+val eval : Schema.t -> Instance.t -> expr -> Tuple.Set.t
+(** Set semantics; validates the expression first. *)
+
+val eval_list : Schema.t -> Instance.t -> expr -> Tuple.t list
+(** Sorted, duplicate-free list view of {!eval}. *)

@@ -1,0 +1,68 @@
+type relation = {
+  rel_name : string;
+  arity : int;
+  sorts : Value.sort array option;
+}
+
+module M = Map.Make (String)
+
+type t = relation M.t
+
+let relation ?sorts name arity =
+  if name = "" then invalid_arg "Schema.relation: empty name";
+  if arity < 0 then invalid_arg "Schema.relation: negative arity";
+  let sorts =
+    match sorts with
+    | None -> None
+    | Some l ->
+      if List.length l <> arity then
+        invalid_arg "Schema.relation: sorts length mismatch"
+      else Some (Array.of_list l)
+  in
+  { rel_name = name; arity; sorts }
+
+let empty = M.empty
+
+let add t r =
+  match M.find_opt r.rel_name t with
+  | Some r' when r' <> r ->
+    invalid_arg (Printf.sprintf "Schema.add: conflicting declaration of %s" r.rel_name)
+  | _ -> M.add r.rel_name r t
+
+let make rs =
+  List.fold_left
+    (fun acc r ->
+      if M.mem r.rel_name acc then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate relation %s" r.rel_name)
+      else M.add r.rel_name r acc)
+    M.empty rs
+
+let relations t = List.map snd (M.bindings t)
+let find t name = M.find_opt name t
+
+let find_exn t name =
+  match M.find_opt name t with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown relation %s" name)
+
+let mem t name = M.mem name t
+let arity t name = (M.find name t).arity
+
+let union a b = M.fold (fun _ r acc -> add acc r) b a
+
+let max_arity t = M.fold (fun _ r acc -> Stdlib.max acc r.arity) t 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  M.iter
+    (fun _ r ->
+      Format.fprintf fmt "%s/%d" r.rel_name r.arity;
+      (match r.sorts with
+       | Some ss ->
+         Format.fprintf fmt "(%s)"
+           (String.concat ", "
+              (Array.to_list (Array.map Value.sort_name ss)))
+       | None -> ());
+      Format.fprintf fmt "@ ")
+    t;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+test/test_definability.ml: Alcotest Bid_table Fact Finite_pdb Fun List Printf QCheck QCheck_alcotest Rational Ti_table Value

@@ -1,0 +1,1 @@
+test/test_dnf.ml: Alcotest Bool_expr Dnf Fact Float Fo_parse Int List Printf Prob QCheck QCheck_alcotest Query_eval Rational Set Stdlib Ti_table Value Wmc

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Approx_eval Bool_expr Completion Fact Fact_source Fo Fo_eval Fo_parse Instance Lineage List Printf QCheck QCheck_alcotest Query_eval Rational Ti_table Tuple Value

@@ -1,0 +1,1 @@
+test/test_kc.ml: Alcotest Bdd Bigint Bool_expr Interval List Printf Prob QCheck QCheck_alcotest Rational Wmc

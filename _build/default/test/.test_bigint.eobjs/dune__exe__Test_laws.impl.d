@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Approx_eval Bdd Bool_expr Completion Countable_ti Fact Fact_source Fo Fo_parse List Prob QCheck QCheck_alcotest Query_eval Rational Ti_table Value Wmc

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bool_expr Fact Fo Fo_eval Fo_parse Instance Lineage List Option Printf Prob QCheck QCheck_alcotest Rational Safe_plan Tuple Value

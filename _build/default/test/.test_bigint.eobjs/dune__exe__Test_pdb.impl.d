@@ -1,0 +1,1 @@
+test/test_pdb.ml: Alcotest Bid_table Fact Finite_pdb Float Fo_parse Instance Interval List Prng Prob QCheck QCheck_alcotest Query_eval Rational Schema Seq Stdlib String Ti_table Value

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Interval List Log_domain Printf Prob QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bigint List QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Fact Instance List QCheck QCheck_alcotest Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Float List Prob QCheck QCheck_alcotest Seq Series Stdlib

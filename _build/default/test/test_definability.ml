@@ -1,0 +1,156 @@
+(* Definability tests: the finite-case simulation of BID PDBs by FO views
+   over TI PDBs (the positive counterpart that Proposition 4.9 shows fails
+   in the countable setting). *)
+
+let i n = Value.Int n
+let q = Rational.of_ints
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Rational.to_string expected)
+    (Rational.to_string actual)
+
+let simulate bid =
+  let aux, views = Bid_table.ti_simulation bid in
+  Finite_pdb.apply_fo_view views (Finite_pdb.of_ti aux)
+
+let test_single_block () =
+  (* One block {R(1): 1/2, R(2): 1/3}: slack 1/6. *)
+  let bid =
+    Bid_table.create
+      [
+        {
+          Bid_table.block_id = "b";
+          alternatives = [ (Fact.make "R" [ i 1 ], q 1 2); (Fact.make "R" [ i 2 ], q 1 3) ];
+        };
+      ]
+  in
+  let aux, _ = Bid_table.ti_simulation bid in
+  (* chain conditionals: 1/2 and (1/3)/(1/2) = 2/3 *)
+  check_q "r1" (q 1 2) (Ti_table.prob aux (Fact.make "Choose" [ i 0; i 0 ]));
+  check_q "r2" (q 2 3) (Ti_table.prob aux (Fact.make "Choose" [ i 0; i 1 ]));
+  Alcotest.(check bool) "distributions equal" true
+    (Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_bid bid))
+
+let test_multi_block_multi_rel () =
+  let bid =
+    Bid_table.create
+      [
+        {
+          Bid_table.block_id = "b1";
+          alternatives =
+            [ (Fact.make "R" [ i 1 ], q 1 4); (Fact.make "S" [ i 1; i 2 ], q 1 2) ];
+        };
+        {
+          Bid_table.block_id = "b2";
+          alternatives = [ (Fact.make "R" [ i 2 ], q 3 5) ];
+        };
+      ]
+  in
+  Alcotest.(check bool) "distributions equal" true
+    (Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_bid bid))
+
+let test_full_mass_block () =
+  (* A block with total mass exactly 1 (no slack): last conditional is 1. *)
+  let bid =
+    Bid_table.create
+      [
+        {
+          Bid_table.block_id = "b";
+          alternatives =
+            [ (Fact.make "R" [ i 1 ], q 1 3); (Fact.make "R" [ i 2 ], q 2 3) ];
+        };
+      ]
+  in
+  let aux, _ = Bid_table.ti_simulation bid in
+  check_q "second conditional is 1" Rational.one
+    (Ti_table.prob aux (Fact.make "Choose" [ i 0; i 1 ]));
+  Alcotest.(check bool) "distributions equal" true
+    (Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_bid bid))
+
+let test_zero_alternatives_skipped () =
+  let bid =
+    Bid_table.create
+      [
+        {
+          Bid_table.block_id = "b";
+          alternatives =
+            [
+              (Fact.make "R" [ i 1 ], Rational.zero);
+              (Fact.make "R" [ i 2 ], q 1 2);
+            ];
+        };
+      ]
+  in
+  let aux, _ = Bid_table.ti_simulation bid in
+  Alcotest.(check int) "one chooser" 1 (Ti_table.size aux);
+  Alcotest.(check bool) "distributions equal" true
+    (Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_bid bid))
+
+let test_ti_special_case () =
+  (* A TI table seen as singleton-block BID simulates back to itself. *)
+  let ti =
+    Ti_table.create
+      [ (Fact.make "R" [ i 1 ], q 1 2); (Fact.make "S" [ i 2 ], q 1 3) ]
+  in
+  let bid = Bid_table.of_ti ti in
+  Alcotest.(check bool) "ti roundtrip" true
+    (Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_ti ti))
+
+(* Random BID tables: the simulation is distribution-exact. *)
+let arb_bid =
+  let open QCheck.Gen in
+  let gen =
+    let* nblocks = int_range 1 3 in
+    let* blocks =
+      List.init nblocks Fun.id
+      |> List.map (fun bi ->
+             let* nalts = int_range 1 3 in
+             (* probabilities k/10 with sum <= 1: draw then normalize *)
+             let* raw = list_repeat nalts (int_range 0 3) in
+             let alts =
+               List.mapi
+                 (fun ai w -> (Fact.make "R" [ i ((10 * bi) + ai) ], q w 10))
+                 raw
+             in
+             return { Bid_table.block_id = Printf.sprintf "b%d" bi; alternatives = alts })
+      |> flatten_l
+    in
+    return (Bid_table.create blocks)
+  in
+  QCheck.make ~print:Bid_table.to_string gen
+
+let props =
+  [
+    QCheck.Test.make ~name:"simulation reproduces distribution" ~count:60
+      arb_bid (fun bid ->
+        Finite_pdb.equal_distribution (simulate bid) (Finite_pdb.of_bid bid));
+    QCheck.Test.make ~name:"simulation preserves marginals" ~count:60 arb_bid
+      (fun bid ->
+        let sim = simulate bid in
+        List.for_all
+          (fun f -> Rational.equal (Bid_table.prob bid f) (Finite_pdb.prob_ef sim f))
+          (Bid_table.support bid));
+    QCheck.Test.make ~name:"aux chooser count = positive alternatives" ~count:60
+      arb_bid (fun bid ->
+        let aux, _ = Bid_table.ti_simulation bid in
+        Ti_table.size aux
+        = List.length
+            (List.filter
+               (fun f -> Rational.sign (Bid_table.prob bid f) > 0)
+               (Bid_table.support bid)));
+  ]
+
+let () =
+  Alcotest.run "definability"
+    [
+      ( "bid-to-ti",
+        [
+          Alcotest.test_case "single block" `Quick test_single_block;
+          Alcotest.test_case "multi block/rel" `Quick test_multi_block_multi_rel;
+          Alcotest.test_case "full-mass block" `Quick test_full_mass_block;
+          Alcotest.test_case "zero alternatives" `Quick
+            test_zero_alternatives_skipped;
+          Alcotest.test_case "ti special case" `Quick test_ti_special_case;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,677 @@
+(* Tests for the infinite open-world core: fact sources, the countable TI
+   construction (Section 4.1), countable BID PDBs (Section 4.4),
+   completions (Section 5) and the truncation approximation (Section 6). *)
+
+let i n = Value.Int n
+let q = Rational.of_ints
+let fact r args = Fact.make r (List.map i args)
+let parse = Fo_parse.parse_exn
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Rational.to_string expected)
+    (Rational.to_string actual)
+
+let r_fact k = fact "R" [ k ]
+
+(* p_i = (1/2)^(i+1): mass 1, tails 2^-n. *)
+let geo_source () =
+  Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
+    ~facts:(fun k -> r_fact k)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Fact_source *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_geometric () =
+  let s = geo_source () in
+  (match Fact_source.nth s 0 with
+   | Some (f, p) ->
+     Alcotest.(check string) "first fact" "R(0)" (Fact.to_string f);
+     check_q "first prob" Rational.half p
+   | None -> Alcotest.fail "nonempty");
+  check_q "prefix sum 3" (q 7 8) (Fact_source.prefix_sum s 3);
+  (match Fact_source.tail_mass s 3 with
+   | Some t -> Alcotest.(check bool) "tail ~1/8" true (Float.abs (t -. 0.125) < 1e-9)
+   | None -> Alcotest.fail "tail expected");
+  Alcotest.(check bool) "converges" true (Fact_source.converges s)
+
+let test_source_prob_lookup () =
+  let s = geo_source () in
+  (match Fact_source.prob s (r_fact 5) with
+   | Some p -> check_q "p_5 = 2^-6" (q 1 64) p
+   | None -> Alcotest.fail "should find R(5)");
+  Alcotest.(check bool) "alien fact not found" true
+    (Fact_source.prob s (fact "Z" [ 0 ]) = None)
+
+let test_source_telescoping () =
+  let s = Fact_source.telescoping ~mass:Rational.one ~facts:r_fact () in
+  (* p_0 = 1/2, p_1 = 1/6, p_2 = 1/12 *)
+  (match Fact_source.nth s 1 with
+   | Some (_, p) -> check_q "p_1" (q 1 6) p
+   | None -> Alcotest.fail "nonempty");
+  (* tail(n) = 1/(n+1) exactly *)
+  (match Fact_source.tail_mass s 9 with
+   | Some t -> Alcotest.(check bool) "tail 1/10" true (Float.abs (t -. 0.1) < 1e-9)
+   | None -> Alcotest.fail "tail expected");
+  (* total mass: prefix + tail ~ 1 *)
+  (match Fact_source.total_mass_upper s 100 with
+   | Some m -> Alcotest.(check bool) "mass ~1" true (Float.abs (m -. 1.0) < 0.02)
+   | None -> Alcotest.fail "mass expected")
+
+let test_source_divergent () =
+  let s = Fact_source.divergent_harmonic ~scale:Rational.one ~facts:r_fact () in
+  Alcotest.(check bool) "diverges" false (Fact_source.converges s);
+  Alcotest.(check bool) "no truncation point" true
+    (Fact_source.prefix_for_tail ~max_n:4096 s 0.1 = None)
+
+let test_source_of_list_validation () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Fact_source finite: duplicate fact R(1)") (fun () ->
+      ignore
+        (Fact_source.of_list [ (r_fact 1, q 1 2); (r_fact 1, q 1 3) ]));
+  Alcotest.check_raises "zero prob"
+    (Invalid_argument "Fact_source finite: probability 0 for R(1) not in (0,1]")
+    (fun () -> ignore (Fact_source.of_list [ (r_fact 1, Rational.zero) ]));
+  (* finite source has exactly-zero tail past its end *)
+  let s = Fact_source.of_list [ (r_fact 1, q 1 2) ] in
+  Alcotest.(check (option (float 0.0))) "tail 0" (Some 0.0)
+    (Fact_source.tail_mass s 5)
+
+let test_source_truncate () =
+  let s = geo_source () in
+  let t = Fact_source.truncate s 3 in
+  Alcotest.(check int) "3 facts" 3 (Ti_table.size t);
+  check_q "marginal preserved" (q 1 4) (Ti_table.prob t (r_fact 1))
+
+let test_source_prefix_for_tail () =
+  let s = geo_source () in
+  (* tail(n) = 2^-n (+ulp); want <= 0.01 -> n = 7 *)
+  (match Fact_source.prefix_for_tail s 0.01 with
+   | Some n -> Alcotest.(check int) "n(0.01)" 7 n
+   | None -> Alcotest.fail "expected truncation point")
+
+let test_source_append_interleave_map () =
+  let head = [ (fact "A" [ 0 ], q 9 10) ] in
+  let s = Fact_source.append_finite head (geo_source ()) in
+  (match Fact_source.nth s 0 with
+   | Some (f, _) -> Alcotest.(check string) "head first" "A(0)" (Fact.to_string f)
+   | None -> Alcotest.fail "nonempty");
+  (match Fact_source.nth s 1 with
+   | Some (f, _) -> Alcotest.(check string) "then tail" "R(0)" (Fact.to_string f)
+   | None -> Alcotest.fail "nonempty");
+  (* sound tails on the composite *)
+  (match Fact_source.tail_mass s 0 with
+   | Some t -> Alcotest.(check bool) "head+tail mass" true (t >= 1.9 -. 1e-6)
+   | None -> Alcotest.fail "tail expected");
+  let mapped =
+    Fact_source.map_facts
+      (fun f -> Fact.make "Q" (Fact.args f))
+      (geo_source ())
+  in
+  (match Fact_source.nth mapped 0 with
+   | Some (f, _) -> Alcotest.(check string) "renamed" "Q(0)" (Fact.to_string f)
+   | None -> Alcotest.fail "nonempty");
+  let s_fact k = fact "S" [ k ] in
+  let both =
+    Fact_source.interleave (geo_source ())
+      (Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
+         ~facts:s_fact ())
+  in
+  (match (Fact_source.nth both 0, Fact_source.nth both 1) with
+   | Some (f0, _), Some (f1, _) ->
+     Alcotest.(check string) "alternate 0" "R(0)" (Fact.to_string f0);
+     Alcotest.(check string) "alternate 1" "S(0)" (Fact.to_string f1)
+   | _ -> Alcotest.fail "nonempty");
+  Alcotest.(check bool) "interleaved converges" true (Fact_source.converges both)
+
+(* ------------------------------------------------------------------ *)
+(* Countable_ti (Section 4.1) *)
+(* ------------------------------------------------------------------ *)
+
+let test_cti_rejects_divergent () =
+  let s = Fact_source.divergent_harmonic ~scale:Rational.one ~facts:r_fact () in
+  (match Countable_ti.create s with
+   | exception Invalid_argument msg ->
+     Alcotest.(check bool) "mentions theorem 4.8" true
+       (String.length msg > 0
+        && Option.is_some
+             (String.index_opt msg '4'))
+   | _ -> Alcotest.fail "divergent source must be rejected (Theorem 4.8)")
+
+let test_cti_marginals () =
+  let t = Countable_ti.create (geo_source ()) in
+  (match Countable_ti.marginal t (r_fact 3) with
+   | Some p -> check_q "p_3" (q 1 16) p
+   | None -> Alcotest.fail "marginal expected")
+
+let test_cti_expected_size () =
+  let t = Countable_ti.create (geo_source ()) in
+  let lo, hi = Countable_ti.expected_size_bounds t ~n:30 in
+  (* E(S) = sum 2^-(i+1) = 1 (Corollary 4.7: finite) *)
+  Alcotest.(check bool) "brackets 1" true (lo <= 1.0 && 1.0 <= hi);
+  Alcotest.(check bool) "tight" true (hi -. lo < 1e-6)
+
+let test_cti_partition_sums_to_one () =
+  let t = Countable_ti.create (geo_source ()) in
+  (* Lemma 4.3's finite core: the 2^n subset sum of prefix measures is
+     exactly 1 for every n — exact rational arithmetic. *)
+  List.iter
+    (fun n ->
+      check_q
+        (Printf.sprintf "partition n=%d" n)
+        Rational.one
+        (Countable_ti.partition_prefix_sum t ~n))
+    [ 0; 1; 2; 5; 10 ]
+
+let test_cti_instance_prob () =
+  let t = Countable_ti.create (geo_source ()) in
+  let d = Instance.of_list [ r_fact 0 ] in
+  (* P({R(0)}) = 1/2 * prod_{i>=1}(1 - 2^-(i+1)) *)
+  let bounds = Countable_ti.instance_prob_bounds t ~n:40 d in
+  let prefix20 = Countable_ti.instance_prob_prefix t ~n:20 d in
+  let prefix40 = Countable_ti.instance_prob_prefix t ~n:40 d in
+  (* prefix is antitone and the bounds bracket the limit *)
+  Alcotest.(check bool) "prefix antitone" true
+    (Rational.compare prefix40 prefix20 <= 0);
+  Alcotest.(check bool) "upper >= lower" true
+    (Interval.lo bounds <= Interval.hi bounds);
+  Alcotest.(check bool) "prefix above lower bound" true
+    (Rational.to_float prefix40 >= Interval.lo bounds -. 1e-12);
+  (* numeric reference: 0.5 * prod_{i>=1}(1-2^-(i+1)) = 0.28878809508...;
+     the enclosure at n=40 is ulp-tight, so check overlap with a small
+     bracket around the constant rather than containment of a truncated
+     literal. *)
+  Alcotest.(check bool) "contains reference" true
+    (Interval.intersect bounds (Interval.make 0.2887880945 0.2887880955)
+     <> None);
+  Alcotest.check_raises "beyond prefix"
+    (Invalid_argument
+       "Countable_ti.instance_prob_bounds: instance has facts beyond the first n")
+    (fun () ->
+      ignore (Countable_ti.instance_prob_bounds t ~n:2 (Instance.of_list [ r_fact 10 ])))
+
+let test_cti_empty_world () =
+  let t = Countable_ti.create (geo_source ()) in
+  let b = Countable_ti.empty_world_prob_bounds t ~n:40 in
+  (* prod (1 - 2^-i) for i>=1 = 0.28878809508... (digital search tree
+     constant); the enclosure is ulp-tight, so test overlap with a small
+     bracket around the constant. *)
+  Alcotest.(check bool) "pentagonal-number constant" true
+    (Interval.intersect b (Interval.make 0.2887880945 0.2887880955) <> None);
+  Alcotest.(check bool) "positive" true (Interval.lo b > 0.0)
+
+let test_cti_truncate_for_mass () =
+  let t = Countable_ti.create (geo_source ()) in
+  match Countable_ti.truncate_for_mass t ~eps:0.01 with
+  | Some (n, table) ->
+    Alcotest.(check int) "n = 7" 7 n;
+    Alcotest.(check int) "table size" 7 (Ti_table.size table)
+  | None -> Alcotest.fail "expected truncation"
+
+let test_cti_sampling () =
+  let t = Countable_ti.create (geo_source ()) in
+  let g = Prng.create ~seed:2024 () in
+  let n = 20_000 in
+  let sizes = ref 0 and hit0 = ref 0 in
+  for _ = 1 to n do
+    let w = Countable_ti.sample t g in
+    sizes := !sizes + Instance.size w;
+    if Instance.mem (r_fact 0) w then incr hit0
+  done;
+  let mean_size = float_of_int !sizes /. float_of_int n in
+  Alcotest.(check bool) "mean size ~ E(S)=1" true (Float.abs (mean_size -. 1.0) < 0.05);
+  let m0 = float_of_int !hit0 /. float_of_int n in
+  Alcotest.(check bool) "marginal R(0) ~ 1/2" true (Float.abs (m0 -. 0.5) < 0.02)
+
+let test_cti_sampled_independence () =
+  let t = Countable_ti.create (geo_source ()) in
+  let gap =
+    Sampler.independence_gap ~seed:5 ~samples:30_000
+      (fun g -> Countable_ti.sample t g)
+      (r_fact 0) (r_fact 1)
+  in
+  Alcotest.(check bool) "independence gap small" true (gap < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Countable_bid (Section 4.4) *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocks B_k = { T(k, 0), T(k, 1) } with probabilities 2^-(k+2) each:
+   block mass 2^-(k+1), total mass 1/2. *)
+let bid_blocks () =
+  Seq.map
+    (fun k ->
+      let p = Rational.pow Rational.half (k + 2) in
+      Countable_bid.block_finite
+        ~id:(Printf.sprintf "B%d" k)
+        [ (fact "T" [ k; 0 ], p); (fact "T" [ k; 1 ], p) ])
+    (Seq.ints 0)
+
+let bid () =
+  Countable_bid.create ~name:"geo-bid" ~blocks:(bid_blocks ())
+    ~tail:(fun n -> Some (Float.succ (0.5 ** float_of_int (n + 1))))
+    ()
+
+let test_cbid_create_and_masses () =
+  let b = bid () in
+  (match Countable_bid.nth_block b 0 with
+   | Some blk ->
+     Alcotest.(check string) "id" "B0" (Countable_bid.block_id blk);
+     check_q "mass" Rational.half (Countable_bid.block_mass blk);
+     check_q "slack" Rational.half (Countable_bid.block_slack blk)
+   | None -> Alcotest.fail "block expected");
+  let lo, hi = Countable_bid.expected_size_bounds b ~n:30 in
+  Alcotest.(check bool) "E(S) ~ 1" true (lo <= 1.0 +. 1e-9 && 1.0 <= hi +. 1e-9 && hi -. lo < 1e-6)
+
+let test_cbid_rejects_divergent () =
+  let blocks =
+    Seq.map
+      (fun k ->
+        Countable_bid.block_finite
+          ~id:(Printf.sprintf "B%d" k)
+          [ (fact "T" [ k; 0 ], Rational.half) ])
+      (Seq.ints 0)
+  in
+  Alcotest.check_raises "no certificate"
+    (Invalid_argument
+       "Countable_bid.create: divergent-bid has no convergence certificate \
+        (Theorem 4.15)") (fun () ->
+      ignore
+        (Countable_bid.create ~name:"divergent-bid" ~blocks
+           ~tail:(fun _ -> None)
+           ()))
+
+let test_cbid_marginal () =
+  let b = bid () in
+  (match Countable_bid.marginal b (fact "T" [ 1; 1 ]) with
+   | Some p -> check_q "p" (q 1 8) p
+   | None -> Alcotest.fail "marginal expected")
+
+let test_cbid_truncate () =
+  let b = bid () in
+  let table = Countable_bid.truncate b ~n_blocks:4 ~alts_per_block:2 in
+  Alcotest.(check int) "4 blocks" 4 (Bid_table.num_blocks table);
+  Alcotest.(check int) "8 facts" 8 (Bid_table.size table);
+  check_q "preserved marginal" (q 1 8) (Bid_table.prob table (fact "T" [ 1; 1 ]))
+
+let test_cbid_sampling_laws () =
+  let b = bid () in
+  (* exclusivity: zero violations *)
+  Alcotest.(check int) "exclusivity" 0
+    (Sampler.exclusivity_violations ~seed:11 ~samples:20_000
+       (fun g -> Countable_bid.sample b g)
+       (fun f ->
+         match Fact.args f with
+         | Value.Int k :: _ -> Some (string_of_int k)
+         | _ -> None));
+  (* marginal of T(0,0) ~ 1/4 *)
+  let m =
+    Sampler.estimate_marginal ~seed:12 ~samples:30_000
+      (fun g -> Countable_bid.sample b g)
+      (fact "T" [ 0; 0 ])
+  in
+  Alcotest.(check bool) "marginal ~1/4" true (Float.abs (m -. 0.25) < 0.02);
+  (* cross-block independence *)
+  let gap =
+    Sampler.independence_gap ~seed:13 ~samples:30_000
+      (fun g -> Countable_bid.sample b g)
+      (fact "T" [ 0; 0 ]) (fact "T" [ 1; 0 ])
+  in
+  Alcotest.(check bool) "cross-block independent" true (gap < 0.01)
+
+let test_cbid_infinite_block () =
+  (* One block with countably many alternatives T(0,j) ~ 2^-(j+2), block
+     mass 1/2, plus the exact mass passed explicitly. *)
+  let alts = Seq.map (fun j -> (fact "U" [ j ], Rational.pow Rational.half (j + 2))) (Seq.ints 0) in
+  let blk = Countable_bid.block ~id:"inf" ~mass:Rational.half alts in
+  check_q "mass" Rational.half (Countable_bid.block_mass blk);
+  let some_alts = Countable_bid.alternatives ~limit:5 blk in
+  Alcotest.(check int) "limited" 5 (List.length some_alts);
+  let b =
+    Countable_bid.create ~name:"one-inf-block"
+      ~blocks:(Seq.return blk)
+      ~tail:(fun n -> Some (if n >= 1 then 0.0 else 0.5))
+      ()
+  in
+  let g = Prng.create ~seed:3 () in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    let w = Countable_bid.sample b g in
+    if Instance.size w > 1 then Alcotest.fail "at most one fact per block";
+    if Instance.mem (fact "U" [ 0 ]) w then incr hits
+  done;
+  let m = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "U(0) ~ 1/4" true (Float.abs (m -. 0.25) < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Completion (Section 5) *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Example 5.7 original table. *)
+let ex57_ti =
+  Ti_table.create
+    [
+      (Fact.make "R" [ Value.Str "A"; i 1 ], q 8 10);
+      (Fact.make "R" [ Value.Str "B"; i 1 ], q 4 10);
+      (Fact.make "R" [ Value.Str "B"; i 2 ], q 5 10);
+      (Fact.make "R" [ Value.Str "C"; i 3 ], q 9 10);
+    ]
+
+(* New facts R(x, i) for (x, i) outside the table, with probability
+   2^-i spread over the four names: enumerate diagonally. *)
+let ex57_news () =
+  let names = [| "A"; "B"; "C"; "D" |] in
+  let orig = Fact.Set.of_list (Ti_table.support ex57_ti) in
+  let all =
+    Seq.concat_map
+      (fun idx ->
+        let x = names.(idx mod 4) and iv = (idx / 4) + 1 in
+        let f = Fact.make "R" [ Value.Str x; i iv ] in
+        if Fact.Set.mem f orig then Seq.empty
+        else Seq.return (f, Rational.pow Rational.half iv))
+      (Seq.ints 0)
+  in
+  (* tail bound: entries at index >= n have value-index >= n/4 + 1; each
+     value-index level contributes at most 4 * 2^-i; total <= 8 * 2^-(n/4). *)
+  Fact_source.make ~name:"ex57" ~enum:all
+    ~tail:(fun n -> Some (8.0 *. (0.5 ** float_of_int (n / 4))))
+    ()
+
+let test_completion_cc_exact () =
+  let c = Completion.complete_ti ex57_ti (ex57_news ()) in
+  (* Theorem 5.5: the completion condition holds exactly at every
+     truncation level. *)
+  List.iter
+    (fun n ->
+      check_q
+        (Printf.sprintf "CC gap at n=%d" n)
+        Rational.zero
+        (Completion.completion_condition_gap c ~n))
+    [ 0; 1; 2; 4 ]
+
+let test_completion_marginals () =
+  let c = Completion.complete_ti ex57_ti (ex57_news ()) in
+  (* original marginals preserved *)
+  (match Completion.marginal c (Fact.make "R" [ Value.Str "A"; i 1 ]) with
+   | Some p -> check_q "original preserved" (q 8 10) p
+   | None -> Alcotest.fail "marginal expected");
+  (* new fact gets its policy probability: R(D, 1) ~ 1/2 *)
+  (match Completion.marginal c (Fact.make "R" [ Value.Str "D"; i 1 ]) with
+   | Some p -> check_q "new fact" Rational.half p
+   | None -> Alcotest.fail "new marginal expected")
+
+let test_completion_rejects () =
+  Alcotest.check_raises "prob 1 new fact"
+    (Invalid_argument
+       "Completion: new fact N(1) has probability 1, so P'(Omega) = 0 \
+        (forbidden by Definition 5.1)") (fun () ->
+      ignore
+        (Completion.complete_ti ex57_ti
+           (Fact_source.of_list [ (fact "N" [ 1 ], Rational.one) ])));
+  Alcotest.check_raises "overlapping fact"
+    (Invalid_argument "Completion: R(\"A\", 1) already occurs in the original PDB")
+    (fun () ->
+      ignore
+        (Completion.complete_ti ex57_ti
+           (Fact_source.of_list
+              [ (Fact.make "R" [ Value.Str "A"; i 1 ], Rational.half) ])))
+
+let test_completion_openpdb () =
+  let c =
+    Completion.openpdb_lambda ~lambda:(q 1 10)
+      ~new_facts:[ fact "N" [ 1 ]; fact "N" [ 2 ] ]
+      ex57_ti
+  in
+  (match Completion.marginal c (fact "N" [ 2 ]) with
+   | Some p -> check_q "lambda" (q 1 10) p
+   | None -> Alcotest.fail "lambda marginal");
+  check_q "CC still exact" Rational.zero
+    (Completion.completion_condition_gap c ~n:2)
+
+let test_completion_query_open_vs_closed () =
+  (* The closed world says P(exists i. R(D, i)) = 0; the open world gives
+     a small positive value. *)
+  let phi = parse "exists x. R(\"D\", x)" in
+  let closed = Query_eval.boolean ex57_ti phi in
+  check_q "closed world zero" Rational.zero closed;
+  let c = Completion.complete_ti ex57_ti (ex57_news ()) in
+  let r = Completion.query_prob c ~eps:0.01 phi in
+  Alcotest.(check bool) "open world positive" true
+    (Rational.sign r.Approx_eval.estimate > 0);
+  (* sanity: P(exists i. R(D,i)) = 1 - prod_i (1 - 2^-i) ~ 0.7112 *)
+  Alcotest.(check bool) "near analytic value" true
+    (Float.abs (Rational.to_float r.Approx_eval.estimate -. 0.7112) < 0.02)
+
+let test_completion_omega_positive () =
+  let c = Completion.complete_ti ex57_ti (ex57_news ()) in
+  let om = Completion.omega_prob_bounds c ~n:60 in
+  Alcotest.(check bool) "P'(Omega) > 0" true (Interval.lo om > 0.0);
+  Alcotest.(check bool) "P'(Omega) < 1" true (Interval.hi om < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Approx_eval (Section 6) *)
+(* ------------------------------------------------------------------ *)
+
+let test_approx_error_guarantee () =
+  (* Source with known closed forms: p_i = 2^-(i+1) on R(i).
+     P(exists x. R(x)) = 1 - prod (1 - 2^-(i+1)) = 1 - 0.288788... *)
+  let s = geo_source () in
+  let phi = parse "exists x. R(x)" in
+  let truth = 1.0 -. 0.2887880951 in
+  List.iter
+    (fun eps ->
+      let r = Approx_eval.boolean s ~eps phi in
+      let est = Rational.to_float r.Approx_eval.estimate in
+      if Float.abs (est -. truth) > eps then
+        Alcotest.failf "error %g exceeds eps %g" (Float.abs (est -. truth)) eps;
+      (* certified bounds really contain the truth *)
+      Alcotest.(check bool)
+        (Printf.sprintf "bounds at eps=%g" eps)
+        true
+        (Interval.contains r.Approx_eval.bounds truth))
+    [ 0.3; 0.1; 0.01; 0.001 ]
+
+let test_approx_n_grows_with_precision () =
+  let s = geo_source () in
+  let n_at eps =
+    match Approx_eval.truncation_point s ~eps with
+    | Some n -> n
+    | None -> Alcotest.fail "expected truncation point"
+  in
+  Alcotest.(check bool) "monotone" true (n_at 0.2 <= n_at 0.01 && n_at 0.01 <= n_at 0.0001);
+  (* geometric: n ~ log2(3/(2 eps)); at 1e-4 that's ~ 14 *)
+  Alcotest.(check bool) "log growth" true (n_at 0.0001 < 25)
+
+let test_approx_eps_validation () =
+  let s = geo_source () in
+  let phi = parse "exists x. R(x)" in
+  Alcotest.check_raises "eps 0" (Invalid_argument "Approx_eval: eps must lie in (0, 1/2)")
+    (fun () -> ignore (Approx_eval.boolean s ~eps:0.0 phi));
+  Alcotest.check_raises "eps 1/2" (Invalid_argument "Approx_eval: eps must lie in (0, 1/2)")
+    (fun () -> ignore (Approx_eval.boolean s ~eps:0.5 phi))
+
+let test_approx_divergent_rejected () =
+  let s = Fact_source.divergent_harmonic ~scale:Rational.one ~facts:r_fact () in
+  (match Approx_eval.boolean ~max_n:1024 s ~eps:0.1 (parse "exists x. R(x)") with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "divergent source must be rejected")
+
+let test_approx_marginals () =
+  let s = geo_source () in
+  let ms = Approx_eval.marginals s ~eps:0.05 (parse "R(x)") in
+  Alcotest.(check bool) "several tuples" true (List.length ms >= 4);
+  (* the marginal of R(0) is 1/2 exactly (it is within the truncation) *)
+  (match List.find_opt (fun (t, _) -> Tuple.equal t [| i 0 |]) ms with
+   | Some (_, p) -> check_q "R(0)" Rational.half p
+   | None -> Alcotest.fail "R(0) expected")
+
+let test_prop62_witness_shape () =
+  (* Additive error stays below eps; multiplicative error explodes as the
+     first acceptance time grows. *)
+  let phi = parse "exists x. R(x)" in
+  let eps = 0.01 in
+  List.iter
+    (fun t0 ->
+      let s = Approx_eval.prop62_witness ~first_acceptance:t0 ~horizon:60 in
+      let truth = Rational.to_float (Rational.pow Rational.half t0) in
+      let r = Approx_eval.boolean s ~eps phi in
+      let est = Rational.to_float r.Approx_eval.estimate in
+      Alcotest.(check bool)
+        (Printf.sprintf "additive ok at t0=%d" t0)
+        true
+        (Float.abs (est -. truth) <= eps))
+    [ 1; 5; 20; 40 ];
+  (* deep acceptance: estimate is 0 although the truth is positive *)
+  let s = Approx_eval.prop62_witness ~first_acceptance:40 ~horizon:60 in
+  let r = Approx_eval.boolean s ~eps phi in
+  Alcotest.(check bool) "estimate 0" true (Rational.is_zero r.Approx_eval.estimate);
+  Alcotest.(check bool) "truth positive" true (Rational.sign (Rational.pow Rational.half 40) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Size_dist (Section 3.2 / Example 3.3) *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_3_3 () =
+  (* masses approach 1 *)
+  let m = Size_dist.example_3_3_mass_prefix 100 in
+  Alcotest.(check bool) "mass below 1" true Rational.(m < one);
+  Alcotest.(check bool) "mass near 1" true
+    (Rational.to_float m > 0.98);
+  (* truncated expectation diverges: strictly growing and large *)
+  let e10 = Size_dist.example_3_3_expected_size_prefix 10 in
+  let e15 = Size_dist.example_3_3_expected_size_prefix 15 in
+  Alcotest.(check bool) "grows" true Rational.(e15 > e10);
+  Alcotest.(check bool) "large" true (Rational.to_float e15 > 100.0)
+
+let test_tail_size_probability () =
+  let worlds = List.of_seq (Seq.take 12 (Size_dist.example_3_3 ())) in
+  (* equation (6): P(S >= n) decreasing in n *)
+  let p1 = Size_dist.tail_size_probability worlds 1 in
+  let p4 = Size_dist.tail_size_probability worlds 4 in
+  let p100 = Size_dist.tail_size_probability worlds 100 in
+  Alcotest.(check bool) "antitone" true
+    Rational.(p4 <= p1 && p100 <= p4);
+  Alcotest.(check bool) "vanishing" true Rational.(p100 < q 1 5)
+
+let test_histogram () =
+  let t = Countable_ti.create (geo_source ()) in
+  let g = Prng.create ~seed:1 () in
+  let h = Size_dist.histogram (fun _ -> Countable_ti.sample t g) ~samples:2000 in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "counts sum" 2000 total;
+  Alcotest.(check bool) "mostly small" true
+    (match List.assoc_opt 0 h with Some c -> c > 400 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    QCheck.Test.make ~name:"truncations keep marginals" ~count:50
+      (QCheck.int_range 1 30)
+      (fun n ->
+        let s = geo_source () in
+        let t = Fact_source.truncate s n in
+        List.for_all
+          (fun (f, p) -> Rational.equal p (Ti_table.prob t f))
+          (Fact_source.prefix s n));
+    QCheck.Test.make ~name:"partition sums exactly 1 for random prefixes"
+      ~count:30
+      (QCheck.int_range 0 12)
+      (fun n ->
+        let t = Countable_ti.create (geo_source ()) in
+        Rational.equal Rational.one (Countable_ti.partition_prefix_sum t ~n));
+    QCheck.Test.make ~name:"approx result certified bounds contain estimate*omega"
+      ~count:30
+      (QCheck.float_range 0.01 0.4)
+      (fun eps ->
+        let s = geo_source () in
+        let r = Approx_eval.boolean s ~eps (parse "exists x. R(x)") in
+        Interval.lo r.Approx_eval.bounds <= Interval.hi r.Approx_eval.bounds);
+    QCheck.Test.make ~name:"CC gap is 0 for random lambda completions"
+      ~count:30
+      (QCheck.int_range 1 9)
+      (fun k ->
+        let c =
+          Completion.openpdb_lambda ~lambda:(q k 10)
+            ~new_facts:[ fact "N" [ 1 ]; fact "N" [ 2 ]; fact "N" [ 3 ] ]
+            ex57_ti
+        in
+        Rational.is_zero (Completion.completion_condition_gap c ~n:3));
+  ]
+
+let () =
+  Alcotest.run "iowpdb"
+    [
+      ( "fact_source",
+        [
+          Alcotest.test_case "geometric" `Quick test_source_geometric;
+          Alcotest.test_case "prob lookup" `Quick test_source_prob_lookup;
+          Alcotest.test_case "telescoping" `Quick test_source_telescoping;
+          Alcotest.test_case "divergent" `Quick test_source_divergent;
+          Alcotest.test_case "of_list validation" `Quick
+            test_source_of_list_validation;
+          Alcotest.test_case "truncate" `Quick test_source_truncate;
+          Alcotest.test_case "prefix_for_tail" `Quick test_source_prefix_for_tail;
+          Alcotest.test_case "append/interleave/map" `Quick
+            test_source_append_interleave_map;
+        ] );
+      ( "countable_ti",
+        [
+          Alcotest.test_case "rejects divergent (Thm 4.8)" `Quick
+            test_cti_rejects_divergent;
+          Alcotest.test_case "marginals" `Quick test_cti_marginals;
+          Alcotest.test_case "expected size (Cor 4.7)" `Quick
+            test_cti_expected_size;
+          Alcotest.test_case "partition = 1 (Lemma 4.3)" `Quick
+            test_cti_partition_sums_to_one;
+          Alcotest.test_case "instance probability" `Quick test_cti_instance_prob;
+          Alcotest.test_case "empty world" `Quick test_cti_empty_world;
+          Alcotest.test_case "truncate for mass" `Quick test_cti_truncate_for_mass;
+          Alcotest.test_case "sampling" `Slow test_cti_sampling;
+          Alcotest.test_case "sampled independence (Lemma 4.4)" `Slow
+            test_cti_sampled_independence;
+        ] );
+      ( "countable_bid",
+        [
+          Alcotest.test_case "create/masses" `Quick test_cbid_create_and_masses;
+          Alcotest.test_case "rejects divergent (Thm 4.15)" `Quick
+            test_cbid_rejects_divergent;
+          Alcotest.test_case "marginal" `Quick test_cbid_marginal;
+          Alcotest.test_case "truncate" `Quick test_cbid_truncate;
+          Alcotest.test_case "sampling laws" `Slow test_cbid_sampling_laws;
+          Alcotest.test_case "infinite block" `Slow test_cbid_infinite_block;
+        ] );
+      ( "completion",
+        [
+          Alcotest.test_case "CC exact (Thm 5.5)" `Quick test_completion_cc_exact;
+          Alcotest.test_case "marginals" `Quick test_completion_marginals;
+          Alcotest.test_case "rejections" `Quick test_completion_rejects;
+          Alcotest.test_case "openpdb lambda" `Quick test_completion_openpdb;
+          Alcotest.test_case "open vs closed world" `Quick
+            test_completion_query_open_vs_closed;
+          Alcotest.test_case "omega positive" `Quick test_completion_omega_positive;
+        ] );
+      ( "approx_eval",
+        [
+          Alcotest.test_case "error guarantee (Prop 6.1)" `Quick
+            test_approx_error_guarantee;
+          Alcotest.test_case "n grows with precision" `Quick
+            test_approx_n_grows_with_precision;
+          Alcotest.test_case "eps validation" `Quick test_approx_eps_validation;
+          Alcotest.test_case "divergent rejected" `Quick
+            test_approx_divergent_rejected;
+          Alcotest.test_case "marginals" `Quick test_approx_marginals;
+          Alcotest.test_case "prop 6.2 witness" `Quick test_prop62_witness_shape;
+        ] );
+      ( "size_dist",
+        [
+          Alcotest.test_case "example 3.3" `Quick test_example_3_3;
+          Alcotest.test_case "tail size probability" `Quick
+            test_tail_size_probability;
+          Alcotest.test_case "histogram" `Slow test_histogram;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,299 @@
+(* Tests for the knowledge-compilation substrate: boolean expressions,
+   ROBDDs and weighted model counting. *)
+
+module E = Bool_expr
+
+let x0 = E.var 0
+let x1 = E.var 1
+let x2 = E.var 2
+
+(* ------------------------------------------------------------------ *)
+(* Bool_expr *)
+(* ------------------------------------------------------------------ *)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "and unit" true (E.equal (E.conj [ E.tru; x0 ]) x0);
+  Alcotest.(check bool) "and zero" true (E.equal (E.conj [ x0; E.fls ]) E.fls);
+  Alcotest.(check bool) "or unit" true (E.equal (E.disj [ E.fls; x0 ]) x0);
+  Alcotest.(check bool) "or one" true (E.equal (E.disj [ x0; E.tru ]) E.tru);
+  Alcotest.(check bool) "neg neg" true (E.equal (E.neg (E.neg x0)) x0);
+  Alcotest.(check bool) "neg true" true (E.equal (E.neg E.tru) E.fls);
+  Alcotest.(check bool) "empty conj" true (E.equal (E.conj []) E.tru);
+  Alcotest.(check bool) "empty disj" true (E.equal (E.disj []) E.fls);
+  (* flattening *)
+  (match E.conj [ E.conj [ x0; x1 ]; x2 ] with
+   | E.And [ _; _; _ ] -> ()
+   | e -> Alcotest.failf "expected flat conj, got %s" (E.to_string e))
+
+let test_eval_vars () =
+  let e = E.or2 (E.and2 x0 x1) (E.neg x2) in
+  Alcotest.(check bool) "eval tt" true (E.eval (fun _ -> true) e);
+  Alcotest.(check bool) "eval ff" true (E.eval (fun _ -> false) e);
+  Alcotest.(check bool) "eval mixed" false (E.eval (fun i -> i = 2) e);
+  Alcotest.(check (list int)) "vars" [ 0; 1; 2 ] (E.vars e);
+  Alcotest.(check int) "model count" 5 (E.model_count e)
+
+let test_implies () =
+  let e = E.implies x0 x1 in
+  Alcotest.(check bool) "F -> _" true (E.eval (fun _ -> false) e);
+  Alcotest.(check bool) "T -> F" false (E.eval (fun i -> i = 0) e)
+
+let test_brute_force_probability () =
+  (* P(x0 | x1) with p0 = 1/2, p1 = 1/3: 1 - (1/2)(2/3) = 2/3 *)
+  let weight = function
+    | 0 -> Rational.half
+    | _ -> Rational.of_ints 1 3
+  in
+  let p = E.brute_force_probability (module Prob.Rational_carrier) weight (E.or2 x0 x1) in
+  Alcotest.(check string) "or prob" "2/3" (Rational.to_string p);
+  let p = E.brute_force_probability (module Prob.Rational_carrier) weight (E.and2 x0 x1) in
+  Alcotest.(check string) "and prob" "1/6" (Rational.to_string p);
+  let p =
+    E.brute_force_probability (module Prob.Rational_carrier) weight E.tru
+  in
+  Alcotest.(check string) "true prob" "1" (Rational.to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Bdd *)
+(* ------------------------------------------------------------------ *)
+
+let test_bdd_canonicity () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  (* (a & b) built two different ways is the same node *)
+  let ab1 = Bdd.conj m a b in
+  let ab2 = Bdd.neg m (Bdd.disj m (Bdd.neg m a) (Bdd.neg m b)) in
+  Alcotest.(check bool) "de morgan canonical" true (Bdd.equal ab1 ab2);
+  (* tautology collapses to true *)
+  let taut = Bdd.disj m a (Bdd.neg m a) in
+  Alcotest.(check bool) "tautology" true (Bdd.is_tru taut);
+  let contra = Bdd.conj m a (Bdd.neg m a) in
+  Alcotest.(check bool) "contradiction" true (Bdd.is_fls contra)
+
+let test_bdd_eval_agrees_with_expr () =
+  let m = Bdd.manager () in
+  let e = E.or2 (E.and2 x0 (E.neg x1)) (E.and2 x2 x1) in
+  let d = Bdd.of_expr m e in
+  for mask = 0 to 7 do
+    let env i = mask land (1 lsl i) <> 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "assignment %d" mask)
+      (E.eval env e) (Bdd.eval env d)
+  done
+
+let test_bdd_support_size () =
+  let m = Bdd.manager () in
+  (* x1 is redundant in (x0 & x1) | (x0 & !x1) = x0 *)
+  let e = E.or2 (E.and2 x0 x1) (E.and2 x0 (E.neg x1)) in
+  let d = Bdd.of_expr m e in
+  Alcotest.(check (list int)) "support reduces" [ 0 ] (Bdd.support d);
+  Alcotest.(check int) "size 1" 1 (Bdd.size d)
+
+let test_bdd_sat_count () =
+  let m = Bdd.manager () in
+  let d = Bdd.of_expr m (E.or2 (E.and2 x0 x1) (E.neg x2)) in
+  Alcotest.(check string) "5 models" "5"
+    (Bigint.to_string (Bdd.sat_count d ~over:[ 0; 1; 2 ]));
+  (* extra free variable doubles *)
+  Alcotest.(check string) "10 over 4 vars" "10"
+    (Bigint.to_string (Bdd.sat_count d ~over:[ 0; 1; 2; 7 ]));
+  Alcotest.(check string) "true over 3" "8"
+    (Bigint.to_string (Bdd.sat_count (Bdd.tru m) ~over:[ 0; 1; 2 ]));
+  Alcotest.(check string) "false" "0"
+    (Bigint.to_string (Bdd.sat_count (Bdd.fls m) ~over:[ 0 ]));
+  Alcotest.check_raises "missing support"
+    (Invalid_argument "Bdd.sat_count: over must contain the support")
+    (fun () -> ignore (Bdd.sat_count d ~over:[ 0; 1 ]))
+
+let test_bdd_any_sat () =
+  let m = Bdd.manager () in
+  let e = E.and2 x0 (E.neg x1) in
+  (match Bdd.any_sat (Bdd.of_expr m e) with
+   | Some assign ->
+     let env i = try List.assoc i assign with Not_found -> false in
+     Alcotest.(check bool) "assignment satisfies" true (E.eval env e)
+   | None -> Alcotest.fail "satisfiable");
+  Alcotest.(check bool) "unsat none" true (Bdd.any_sat (Bdd.fls m) = None)
+
+let test_bdd_restrict () =
+  let m = Bdd.manager () in
+  let d = Bdd.of_expr m (E.and2 x0 x1) in
+  let r1 = Bdd.restrict m d 0 true in
+  Alcotest.(check bool) "restrict to x1" true (Bdd.equal r1 (Bdd.var m 1));
+  let r0 = Bdd.restrict m d 0 false in
+  Alcotest.(check bool) "restrict to false" true (Bdd.is_fls r0)
+
+let test_bdd_ite_xor () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let x = Bdd.xor m a b in
+  Alcotest.(check bool) "xor tt" false (Bdd.eval (fun _ -> true) x);
+  Alcotest.(check bool) "xor tf" true (Bdd.eval (fun i -> i = 0) x);
+  let i = Bdd.ite m a b (Bdd.neg m b) in
+  (* ite(a, b, !b) = a xnor b ... check against eval *)
+  List.iter
+    (fun (va, vb) ->
+      let env j = if j = 0 then va else vb in
+      Alcotest.(check bool) "ite agree" (if va then vb else not vb)
+        (Bdd.eval env i))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_bdd_variable_order_effect () =
+  (* (x0 & x3) | (x1 & x4) | (x2 & x5): interleaved order is linear,
+     separated order is exponential - the classic example. *)
+  let e =
+    E.disj
+      [
+        E.and2 (E.var 0) (E.var 3);
+        E.and2 (E.var 1) (E.var 4);
+        E.and2 (E.var 2) (E.var 5);
+      ]
+  in
+  let good = Bdd.manager ~order:(fun v -> match v with
+      | 0 -> 0 | 3 -> 1 | 1 -> 2 | 4 -> 3 | 2 -> 4 | 5 -> 5 | _ -> v + 10) () in
+  let bad = Bdd.manager () (* 0,1,2,3,4,5: pairs split across the order *) in
+  let sg = Bdd.size (Bdd.of_expr good e) in
+  let sb = Bdd.size (Bdd.of_expr bad e) in
+  Alcotest.(check bool)
+    (Printf.sprintf "good order smaller (%d < %d)" sg sb)
+    true (sg < sb)
+
+(* ------------------------------------------------------------------ *)
+(* Wmc *)
+(* ------------------------------------------------------------------ *)
+
+let test_wmc_matches_brute_force_exact () =
+  let weight i = Rational.of_ints (i + 1) 10 in
+  List.iter
+    (fun e ->
+      let reference =
+        E.brute_force_probability (module Prob.Rational_carrier) weight e
+      in
+      let got = Wmc.rational_probability ~weight e in
+      Alcotest.(check string) ("wmc " ^ E.to_string e)
+        (Rational.to_string reference) (Rational.to_string got))
+    [
+      E.tru;
+      E.fls;
+      x0;
+      E.neg x0;
+      E.and2 x0 x1;
+      E.or2 x0 x1;
+      E.or2 (E.and2 x0 x1) (E.and2 (E.neg x0) x2);
+      E.conj [ x0; x1; x2; E.var 3 ];
+      E.disj [ E.and2 x0 x1; E.and2 x1 x2; E.and2 x2 x0 ];
+      E.implies (E.or2 x0 x1) (E.and2 x2 (E.neg x0));
+    ]
+
+let test_wmc_float_and_interval () =
+  let e = E.disj [ E.and2 x0 x1; E.and2 x1 x2; E.and2 x2 x0 ] in
+  let wf i = 0.1 *. float_of_int (i + 1) in
+  let f = Wmc.float_probability ~weight:wf e in
+  let iv = Wmc.interval_probability ~weight:(fun i -> Interval.point (wf i)) e in
+  Alcotest.(check bool) "float inside interval" true (Interval.contains iv f);
+  Alcotest.(check bool) "interval narrow" true (Interval.width iv < 1e-12);
+  let q =
+    Wmc.rational_probability ~weight:(fun i -> Rational.of_ints (i + 1) 10) e
+  in
+  Alcotest.(check bool) "exact inside interval" true
+    (Interval.contains iv (Rational.to_float q))
+
+let test_wmc_large_conjunction () =
+  (* P(AND of 40 independent vars each 1/2) = 2^-40; brute force would be
+     hopeless, the BDD is a chain. *)
+  let e = E.conj (List.init 40 E.var) in
+  let p = Wmc.rational_probability ~weight:(fun _ -> Rational.half) e in
+  Alcotest.(check string) "2^-40" (Rational.to_string (Rational.pow Rational.half 40))
+    (Rational.to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+(* ------------------------------------------------------------------ *)
+
+let arb_expr =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n = 0 then
+      oneof [ return E.tru; return E.fls; map E.var (int_range 0 5) ]
+    else
+      frequency
+        [
+          (1, map E.var (int_range 0 5));
+          (2, map E.neg (gen (n - 1)));
+          (3, map2 E.and2 (gen (n / 2)) (gen (n / 2)));
+          (3, map2 E.or2 (gen (n / 2)) (gen (n / 2)));
+        ]
+  in
+  QCheck.make ~print:E.to_string (gen 6)
+
+let props =
+  [
+    QCheck.Test.make ~name:"bdd eval = expr eval" ~count:300 arb_expr (fun e ->
+        let m = Bdd.manager () in
+        let d = Bdd.of_expr m e in
+        List.for_all
+          (fun mask ->
+            let env i = mask land (1 lsl i) <> 0 in
+            E.eval env e = Bdd.eval env d)
+          [ 0; 7; 21; 42; 63 ]);
+    QCheck.Test.make ~name:"wmc = brute force (float)" ~count:200 arb_expr
+      (fun e ->
+        let weight i = 0.1 +. (0.13 *. float_of_int i) in
+        let bf = E.brute_force_probability (module Prob.Float_carrier) weight e in
+        Prob.close ~eps:1e-9 bf (Wmc.float_probability ~weight e));
+    QCheck.Test.make ~name:"sat_count = model_count" ~count:200 arb_expr
+      (fun e ->
+        let m = Bdd.manager () in
+        let d = Bdd.of_expr m e in
+        let vs = E.vars e in
+        match vs with
+        | [] -> true
+        | _ ->
+          Bigint.to_int (Bdd.sat_count d ~over:vs) = E.model_count e);
+    QCheck.Test.make ~name:"neg involution on bdd" ~count:200 arb_expr (fun e ->
+        let m = Bdd.manager () in
+        let d = Bdd.of_expr m e in
+        Bdd.equal d (Bdd.neg m (Bdd.neg m d)));
+    QCheck.Test.make ~name:"order independence of wmc" ~count:100 arb_expr
+      (fun e ->
+        let weight i = 0.05 *. float_of_int (i + 3) in
+        let m1 = Bdd.manager () in
+        let m2 = Bdd.manager ~order:(fun v -> 100 - v) () in
+        let module W = Wmc.Make (Prob.Float_carrier) in
+        Prob.close ~eps:1e-9
+          (W.probability ~weight (Bdd.of_expr m1 e))
+          (W.probability ~weight (Bdd.of_expr m2 e)));
+  ]
+
+let () =
+  Alcotest.run "kc"
+    [
+      ( "bool_expr",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "eval/vars" `Quick test_eval_vars;
+          Alcotest.test_case "implies" `Quick test_implies;
+          Alcotest.test_case "brute force probability" `Quick
+            test_brute_force_probability;
+        ] );
+      ( "bdd",
+        [
+          Alcotest.test_case "canonicity" `Quick test_bdd_canonicity;
+          Alcotest.test_case "eval agrees" `Quick test_bdd_eval_agrees_with_expr;
+          Alcotest.test_case "support/size" `Quick test_bdd_support_size;
+          Alcotest.test_case "sat_count" `Quick test_bdd_sat_count;
+          Alcotest.test_case "any_sat" `Quick test_bdd_any_sat;
+          Alcotest.test_case "restrict" `Quick test_bdd_restrict;
+          Alcotest.test_case "ite/xor" `Quick test_bdd_ite_xor;
+          Alcotest.test_case "variable order" `Quick
+            test_bdd_variable_order_effect;
+        ] );
+      ( "wmc",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_wmc_matches_brute_force_exact;
+          Alcotest.test_case "float+interval" `Quick test_wmc_float_and_interval;
+          Alcotest.test_case "large conjunction" `Quick test_wmc_large_conjunction;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,470 @@
+(* Tests for the finite-PDB core: TI tables, BID tables, explicit world
+   tables (views, conditioning, products) and the four query engines. *)
+
+let i n = Value.Int n
+let q = Rational.of_ints
+let fact r args = Fact.make r (List.map i args)
+let parse = Fo_parse.parse_exn
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Rational.to_string expected)
+    (Rational.to_string actual)
+
+(* A small reference TI table used throughout. *)
+let ti =
+  Ti_table.create
+    [
+      (fact "R" [ 1 ], q 1 2);
+      (fact "R" [ 2 ], q 1 3);
+      (fact "S" [ 1 ], q 1 4);
+      (fact "S" [ 2 ], q 1 5);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ti_table *)
+(* ------------------------------------------------------------------ *)
+
+let test_ti_basics () =
+  Alcotest.(check int) "size" 4 (Ti_table.size ti);
+  check_q "prob" (q 1 3) (Ti_table.prob ti (fact "R" [ 2 ]));
+  check_q "absent" Rational.zero (Ti_table.prob ti (fact "R" [ 9 ]));
+  check_q "expected size" (q 77 60) (Ti_table.expected_instance_size ti);
+  Alcotest.(check int) "adom" 2 (List.length (Ti_table.active_domain ti))
+
+let test_ti_validation () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Ti_table: duplicate fact R(1)") (fun () ->
+      ignore (Ti_table.create [ (fact "R" [ 1 ], q 1 2); (fact "R" [ 1 ], q 1 3) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Ti_table: probability 3/2 out of range for R(1)")
+    (fun () -> ignore (Ti_table.create [ (fact "R" [ 1 ], q 3 2) ]));
+  (* zero-probability facts are dropped *)
+  let t = Ti_table.create [ (fact "R" [ 1 ], Rational.zero) ] in
+  Alcotest.(check int) "zero dropped" 0 (Ti_table.size t)
+
+let test_ti_schema_validation () =
+  let schema = Schema.make [ Schema.relation "R" 1 ] in
+  Alcotest.check_raises "nonconforming"
+    (Invalid_argument "Ti_table: fact R(1, 2) does not conform to the schema")
+    (fun () -> ignore (Ti_table.create ~schema [ (fact "R" [ 1; 2 ], q 1 2) ]))
+
+let test_ti_worlds_sum_to_one () =
+  let total =
+    Seq.fold_left
+      (fun acc (_, p) -> Rational.add acc p)
+      Rational.zero (Ti_table.worlds ti)
+  in
+  check_q "partition" Rational.one total;
+  Alcotest.(check int) "2^4 worlds" 16 (Seq.length (Ti_table.worlds ti))
+
+let test_ti_world_probability () =
+  let w = Instance.of_list [ fact "R" [ 1 ] ] in
+  (* 1/2 * 2/3 * 3/4 * 4/5 = 1/5 *)
+  check_q "P({R(1)})" (q 1 5) (Ti_table.world_probability ti w);
+  check_q "foreign fact" Rational.zero
+    (Ti_table.world_probability ti (Instance.of_list [ fact "Z" [ 0 ] ]))
+
+let test_ti_marginal_consistency () =
+  List.iter
+    (fun (f, p) -> check_q (Fact.to_string f) p (Ti_table.marginal_check ti f))
+    (Ti_table.facts ti)
+
+let test_ti_sampling_marginals () =
+  let g = Prng.create ~seed:99 () in
+  let n = 40_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Instance.mem (fact "R" [ 1 ]) (Ti_table.sample ti g) then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "~1/2" true (Float.abs (frac -. 0.5) < 0.02)
+
+let test_ti_text_format () =
+  let lines = String.split_on_char '\n' (Ti_table.to_string ti) in
+  let ti' = Ti_table.of_lines lines in
+  Alcotest.(check int) "same size" (Ti_table.size ti) (Ti_table.size ti');
+  List.iter
+    (fun (f, p) -> check_q (Fact.to_string f) p (Ti_table.prob ti' f))
+    (Ti_table.facts ti);
+  let ti'' = Ti_table.of_lines [ "# comment"; ""; "R(1) 0.25" ] in
+  check_q "decimal prob" (q 1 4) (Ti_table.prob ti'' (fact "R" [ 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Bid_table *)
+(* ------------------------------------------------------------------ *)
+
+let bid =
+  Bid_table.create
+    [
+      {
+        Bid_table.block_id = "b1";
+        alternatives = [ (fact "R" [ 1 ], q 1 2); (fact "R" [ 2 ], q 1 3) ];
+      };
+      { Bid_table.block_id = "b2"; alternatives = [ (fact "S" [ 1 ], q 1 4) ] };
+    ]
+
+let test_bid_basics () =
+  Alcotest.(check int) "support" 3 (Bid_table.size bid);
+  Alcotest.(check int) "blocks" 2 (Bid_table.num_blocks bid);
+  check_q "slack b1" (q 1 6) (Bid_table.block_slack bid "b1");
+  check_q "slack b2" (q 3 4) (Bid_table.block_slack bid "b2");
+  Alcotest.(check (option string)) "block of" (Some "b1")
+    (Bid_table.block_of_fact bid (fact "R" [ 2 ]));
+  check_q "expected size" (q 13 12) (Bid_table.expected_instance_size bid)
+
+let test_bid_validation () =
+  Alcotest.check_raises "over mass"
+    (Invalid_argument "Bid_table: block b sums to 7/6 > 1") (fun () ->
+      ignore
+        (Bid_table.create
+           [
+             {
+               Bid_table.block_id = "b";
+               alternatives =
+                 [ (fact "R" [ 1 ], q 1 2); (fact "R" [ 2 ], q 2 3) ];
+             };
+           ]));
+  Alcotest.check_raises "dup fact"
+    (Invalid_argument "Bid_table: fact R(1) occurs twice") (fun () ->
+      ignore
+        (Bid_table.create
+           [
+             { Bid_table.block_id = "a"; alternatives = [ (fact "R" [ 1 ], q 1 3) ] };
+             { Bid_table.block_id = "b"; alternatives = [ (fact "R" [ 1 ], q 1 3) ] };
+           ]))
+
+let test_bid_worlds () =
+  let ws = List.of_seq (Bid_table.worlds bid) in
+  (* (2 alternatives + 1) * (1 + 1) = 6 worlds *)
+  Alcotest.(check int) "6 worlds" 6 (List.length ws);
+  let total = List.fold_left (fun acc (_, p) -> Rational.add acc p) Rational.zero ws in
+  check_q "partition" Rational.one total;
+  (* exclusivity: no world has both R(1) and R(2) *)
+  Alcotest.(check bool) "exclusive" true
+    (List.for_all
+       (fun (w, _) ->
+         not (Instance.mem (fact "R" [ 1 ]) w && Instance.mem (fact "R" [ 2 ]) w))
+       ws)
+
+let test_bid_world_probability () =
+  (* P({R(1), S(1)}) = 1/2 * 1/4 = 1/8 *)
+  check_q "good world" (q 1 8)
+    (Bid_table.world_probability bid
+       (Instance.of_list [ fact "R" [ 1 ]; fact "S" [ 1 ] ]));
+  (* P({}) = slack(b1) * slack(b2) = 1/6 * 3/4 = 1/8 *)
+  check_q "empty world" (q 1 8) (Bid_table.world_probability bid Instance.empty);
+  (* bad: two facts from b1 *)
+  check_q "bad world" Rational.zero
+    (Bid_table.world_probability bid
+       (Instance.of_list [ fact "R" [ 1 ]; fact "R" [ 2 ] ]))
+
+let test_bid_marginals_against_worlds () =
+  List.iter
+    (fun f ->
+      let direct = Bid_table.prob bid f in
+      let from_worlds =
+        Seq.fold_left
+          (fun acc (w, p) -> if Instance.mem f w then Rational.add acc p else acc)
+          Rational.zero (Bid_table.worlds bid)
+      in
+      check_q (Fact.to_string f) direct from_worlds)
+    (Bid_table.support bid)
+
+let test_bid_sampling_exclusivity () =
+  let g = Prng.create ~seed:7 () in
+  for _ = 1 to 2000 do
+    let w = Bid_table.sample bid g in
+    if Instance.mem (fact "R" [ 1 ]) w && Instance.mem (fact "R" [ 2 ]) w then
+      Alcotest.fail "sampled world violates block exclusivity"
+  done
+
+let test_bid_of_ti () =
+  let b = Bid_table.of_ti ti in
+  Alcotest.(check int) "singleton blocks" (Ti_table.size ti)
+    (Bid_table.num_blocks b);
+  check_q "same expected size"
+    (Ti_table.expected_instance_size ti)
+    (Bid_table.expected_instance_size b)
+
+(* ------------------------------------------------------------------ *)
+(* Finite_pdb *)
+(* ------------------------------------------------------------------ *)
+
+let test_finite_create_validation () =
+  Alcotest.check_raises "bad mass"
+    (Invalid_argument "Finite_pdb.create: masses sum to 3/4, not 1") (fun () ->
+      ignore (Finite_pdb.create [ (Instance.empty, q 3 4) ]));
+  (* duplicates merged *)
+  let d =
+    Finite_pdb.create
+      [ (Instance.empty, q 1 2); (Instance.empty, q 1 4); (Instance.singleton (fact "R" [ 1 ]), q 1 4) ]
+  in
+  Alcotest.(check int) "merged" 2 (Finite_pdb.num_worlds d);
+  check_q "merged mass" (q 3 4) (Finite_pdb.prob_of d Instance.empty)
+
+let test_finite_of_ti_marginals () =
+  let d = Finite_pdb.of_ti ti in
+  Alcotest.(check int) "16 worlds" 16 (Finite_pdb.num_worlds d);
+  List.iter
+    (fun (f, p) -> check_q (Fact.to_string f) p (Finite_pdb.prob_ef d f))
+    (Ti_table.facts ti);
+  check_q "expected size matches" (Ti_table.expected_instance_size ti)
+    (Finite_pdb.expected_size d);
+  Alcotest.(check bool) "is TI" true (Finite_pdb.is_tuple_independent d)
+
+let test_finite_of_bid_not_ti () =
+  let d = Finite_pdb.of_bid bid in
+  Alcotest.(check bool) "BID with 2-block is not TI" false
+    (Finite_pdb.is_tuple_independent d)
+
+let test_finite_prob_intersects () =
+  let d = Finite_pdb.of_ti ti in
+  (* P(E_F) for F = {R(1), R(2)}: 1 - (1/2)(2/3) = 2/3 *)
+  check_q "E_F" (q 2 3)
+    (Finite_pdb.prob_intersects d
+       (Fact.Set.of_list [ fact "R" [ 1 ]; fact "R" [ 2 ] ]))
+
+let test_finite_condition () =
+  let d = Finite_pdb.of_ti ti in
+  let c = Finite_pdb.condition d (fun w -> Instance.mem (fact "R" [ 1 ]) w) in
+  check_q "P(R(1) | R(1)) = 1" Rational.one (Finite_pdb.prob_ef c (fact "R" [ 1 ]));
+  (* independence: conditioning on R(1) leaves S(1) untouched *)
+  check_q "P(S(1) | R(1)) = 1/4" (q 1 4) (Finite_pdb.prob_ef c (fact "S" [ 1 ]));
+  Alcotest.check_raises "null event"
+    (Invalid_argument "Finite_pdb.condition: conditioning on a null event")
+    (fun () ->
+      ignore (Finite_pdb.condition d (fun w -> Instance.size w > 100)))
+
+let test_finite_view () =
+  (* View: T(x) := exists y. R-binary... use unary R, S from ti:
+     T(x) := R(x) & S(x). *)
+  let d = Finite_pdb.of_ti ti in
+  let v = Finite_pdb.apply_fo_view [ ("T", parse "R(x) & S(x)") ] d in
+  (* P(T(1) present) = P(R(1) & S(1)) = 1/8 *)
+  check_q "pushforward marginal" (q 1 8) (Finite_pdb.prob_ef v (fact "T" [ 1 ]));
+  (* all worlds of the image contain only T-facts *)
+  Alcotest.(check bool) "image schema" true
+    (List.for_all
+       (fun (w, _) ->
+         Instance.for_all (fun f -> Fact.rel f = "T") w)
+       (Finite_pdb.worlds v))
+
+let test_finite_product () =
+  let a = Finite_pdb.of_ti (Ti_table.create [ (fact "A" [ 1 ], q 1 2) ]) in
+  let b = Finite_pdb.of_ti (Ti_table.create [ (fact "B" [ 1 ], q 1 3) ]) in
+  let ab = Finite_pdb.product a b in
+  Alcotest.(check int) "4 worlds" 4 (Finite_pdb.num_worlds ab);
+  check_q "joint" (q 1 6)
+    (Finite_pdb.prob_of ab (Instance.of_list [ fact "A" [ 1 ]; fact "B" [ 1 ] ]));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Instance.disjoint_union: operands share a fact")
+    (fun () -> ignore (Finite_pdb.product a a))
+
+let test_finite_size_distribution () =
+  let d = Finite_pdb.of_ti (Ti_table.create [ (fact "A" [ 1 ], q 1 2); (fact "B" [ 1 ], q 1 2) ]) in
+  let dist = Finite_pdb.size_distribution d in
+  Alcotest.(check int) "3 sizes" 3 (List.length dist);
+  check_q "P(size 1) = 1/2" (q 1 2) (List.assoc 1 dist)
+
+(* ------------------------------------------------------------------ *)
+(* Query engines *)
+(* ------------------------------------------------------------------ *)
+
+let queries_for_agreement =
+  [
+    "exists x. R(x)";
+    "exists x. R(x) & S(x)";
+    "exists x y. R(x) & S(y)";
+    "forall x. R(x) -> S(x)";
+    "!(exists x. S(x))";
+    "R(1) | S(2)";
+    "exists x. R(x) & !S(x)";
+    "exists x y. R(x) & S(y) & x != y";
+    "true";
+    "false";
+  ]
+
+let test_engines_agree () =
+  List.iter
+    (fun qs ->
+      let phi = parse qs in
+      let reference = Query_eval.boolean_enum ti phi in
+      check_q ("bdd " ^ qs) reference (Query_eval.boolean_bdd_rational ti phi);
+      check_q ("auto " ^ qs) reference (Query_eval.boolean ti phi);
+      (match Query_eval.boolean_safe ti phi with
+       | Some p -> check_q ("safe " ^ qs) reference p
+       | None -> ());
+      let iv = Query_eval.boolean_bdd_interval ti phi in
+      Alcotest.(check bool) ("interval " ^ qs) true
+        (Interval.contains iv (Rational.to_float reference));
+      let fl = Query_eval.boolean_bdd_float ti phi in
+      Alcotest.(check bool) ("float " ^ qs) true
+        (Prob.close ~eps:1e-9 fl (Rational.to_float reference)))
+    queries_for_agreement
+
+let test_engine_finite_agrees () =
+  let d = Finite_pdb.of_ti ti in
+  List.iter
+    (fun qs ->
+      let phi = parse qs in
+      check_q ("finite " ^ qs)
+        (Query_eval.boolean_enum ti phi)
+        (Query_eval.boolean_finite d phi))
+    queries_for_agreement
+
+let test_monte_carlo () =
+  let phi = parse "exists x. R(x)" in
+  let exact = Rational.to_float (Query_eval.boolean ti phi) in
+  let r = Query_eval.boolean_mc ~samples:20_000 ti phi in
+  Alcotest.(check bool) "within 5 sigma" true
+    (Float.abs (r.Query_eval.estimate -. exact)
+     < Stdlib.max (5.0 *. r.Query_eval.std_error) 0.02);
+  Alcotest.(check int) "samples recorded" 20_000 r.Query_eval.samples
+
+let test_marginals () =
+  let ms = Query_eval.marginals ti (parse "R(x)") in
+  Alcotest.(check int) "two tuples" 2 (List.length ms);
+  let find v = List.assoc [| i v |] (List.map (fun (t, p) -> (t, p)) ms) in
+  ignore find;
+  List.iter
+    (fun (tup, p) ->
+      match tup with
+      | [| Value.Int 1 |] -> check_q "R(1)" (q 1 2) p
+      | [| Value.Int 2 |] -> check_q "R(2)" (q 1 3) p
+      | _ -> Alcotest.fail "unexpected tuple")
+    ms;
+  (* conjunctive marginal *)
+  let ms = Query_eval.marginals ti (parse "R(x) & S(x)") in
+  List.iter
+    (fun (tup, p) ->
+      match tup with
+      | [| Value.Int 1 |] -> check_q "R&S 1" (q 1 8) p
+      | [| Value.Int 2 |] -> check_q "R&S 2" (q 1 15) p
+      | _ -> Alcotest.fail "unexpected tuple")
+    ms
+
+let test_marginals_match_view () =
+  (* marginal of T(x) in the view pushforward = marginal of the formula *)
+  let d = Finite_pdb.of_ti ti in
+  let v = Finite_pdb.apply_fo_view [ ("T", parse "R(x) & S(x)") ] d in
+  List.iter
+    (fun (tup, p) ->
+      check_q "view vs marginal" p
+        (Finite_pdb.prob_ef v (Fact.make_arr "T" tup)))
+    (Query_eval.marginals ti (parse "R(x) & S(x)"))
+
+let test_free_var_guard () =
+  Alcotest.check_raises "free vars"
+    (Invalid_argument "Query_eval: query has free variables x") (fun () ->
+      ignore (Query_eval.boolean_enum ti (parse "R(x)")))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+(* ------------------------------------------------------------------ *)
+
+let arb_ti =
+  let open QCheck.Gen in
+  let gen =
+    let* nr = int_range 0 3 in
+    let* ns = int_range 0 3 in
+    let* probs =
+      list_repeat (nr + ns) (map (fun k -> q k 10) (int_range 1 9))
+    in
+    let facts =
+      List.init nr (fun k -> fact "R" [ k ]) @ List.init ns (fun k -> fact "S" [ k ])
+    in
+    return (Ti_table.create (List.combine facts probs))
+  in
+  QCheck.make ~print:Ti_table.to_string gen
+
+let arb_query =
+  QCheck.oneofl (List.map parse queries_for_agreement)
+
+let props =
+  [
+    QCheck.Test.make ~name:"worlds sum to 1" ~count:100 arb_ti (fun t ->
+        Rational.equal Rational.one
+          (Seq.fold_left
+             (fun acc (_, p) -> Rational.add acc p)
+             Rational.zero (Ti_table.worlds t)));
+    QCheck.Test.make ~name:"enum = bdd on random tables/queries" ~count:150
+      QCheck.(pair arb_ti arb_query)
+      (fun (t, phi) ->
+        Rational.equal
+          (Query_eval.boolean_enum t phi)
+          (Query_eval.boolean_bdd_rational t phi));
+    QCheck.Test.make ~name:"safe (when applicable) = enum" ~count:150
+      QCheck.(pair arb_ti arb_query)
+      (fun (t, phi) ->
+        match Query_eval.boolean_safe t phi with
+        | None -> true
+        | Some p -> Rational.equal p (Query_eval.boolean_enum t phi));
+    QCheck.Test.make ~name:"finite pdb roundtrip preserves marginals"
+      ~count:100 arb_ti (fun t ->
+        let d = Finite_pdb.of_ti t in
+        List.for_all
+          (fun (f, p) -> Rational.equal p (Finite_pdb.prob_ef d f))
+          (Ti_table.facts t));
+    QCheck.Test.make ~name:"conditioning renormalizes" ~count:100 arb_ti
+      (fun t ->
+        QCheck.assume (Ti_table.size t > 0);
+        let d = Finite_pdb.of_ti t in
+        let f = List.hd (Ti_table.support t) in
+        let c = Finite_pdb.condition d (fun w -> Instance.mem f w) in
+        Rational.equal Rational.one
+          (List.fold_left
+             (fun acc (_, p) -> Rational.add acc p)
+             Rational.zero (Finite_pdb.worlds c)));
+  ]
+
+let () =
+  Alcotest.run "pdb"
+    [
+      ( "ti_table",
+        [
+          Alcotest.test_case "basics" `Quick test_ti_basics;
+          Alcotest.test_case "validation" `Quick test_ti_validation;
+          Alcotest.test_case "schema validation" `Quick test_ti_schema_validation;
+          Alcotest.test_case "worlds sum" `Quick test_ti_worlds_sum_to_one;
+          Alcotest.test_case "world probability" `Quick test_ti_world_probability;
+          Alcotest.test_case "marginal consistency" `Quick
+            test_ti_marginal_consistency;
+          Alcotest.test_case "sampling" `Slow test_ti_sampling_marginals;
+          Alcotest.test_case "text format" `Quick test_ti_text_format;
+        ] );
+      ( "bid_table",
+        [
+          Alcotest.test_case "basics" `Quick test_bid_basics;
+          Alcotest.test_case "validation" `Quick test_bid_validation;
+          Alcotest.test_case "worlds" `Quick test_bid_worlds;
+          Alcotest.test_case "world probability" `Quick test_bid_world_probability;
+          Alcotest.test_case "marginals vs worlds" `Quick
+            test_bid_marginals_against_worlds;
+          Alcotest.test_case "sampling exclusivity" `Quick
+            test_bid_sampling_exclusivity;
+          Alcotest.test_case "of_ti" `Quick test_bid_of_ti;
+        ] );
+      ( "finite_pdb",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_finite_create_validation;
+          Alcotest.test_case "of_ti marginals" `Quick test_finite_of_ti_marginals;
+          Alcotest.test_case "bid not TI" `Quick test_finite_of_bid_not_ti;
+          Alcotest.test_case "prob intersects" `Quick test_finite_prob_intersects;
+          Alcotest.test_case "condition" `Quick test_finite_condition;
+          Alcotest.test_case "FO view" `Quick test_finite_view;
+          Alcotest.test_case "product" `Quick test_finite_product;
+          Alcotest.test_case "size distribution" `Quick
+            test_finite_size_distribution;
+        ] );
+      ( "query_eval",
+        [
+          Alcotest.test_case "engines agree" `Quick test_engines_agree;
+          Alcotest.test_case "finite engine" `Quick test_engine_finite_agrees;
+          Alcotest.test_case "monte carlo" `Slow test_monte_carlo;
+          Alcotest.test_case "marginals" `Quick test_marginals;
+          Alcotest.test_case "marginals = view" `Quick test_marginals_match_view;
+          Alcotest.test_case "free var guard" `Quick test_free_var_guard;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the SplitMix64 PRNG and its distribution helpers.
+   Statistical assertions use generous tolerances on large samples so the
+   suite is deterministic (fixed seeds) and robust. *)
+
+let g () = Prng.create ~seed:424242 ()
+
+let mean_of n f =
+  let gen = g () in
+  let acc = ref 0.0 in
+  for _ = 1 to n do acc := !acc +. f gen done;
+  !acc /. float_of_int n
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 () and b = Prng.create ~seed:7 () in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d equal" i)
+      (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:1 () and b = Prng.create ~seed:2 () in
+  Alcotest.(check bool) "different streams" false
+    (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_copy_independent () =
+  let a = g () in
+  let b = Prng.copy a in
+  let x = Prng.next_int64 a in
+  let y = Prng.next_int64 b in
+  Alcotest.(check int64) "copy replays" x y
+
+let test_split () =
+  let a = g () in
+  let b = Prng.split a in
+  let xs = List.init 50 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Prng.next_int64 b) in
+  Alcotest.(check bool) "split decorrelated" false (xs = ys)
+
+let test_float_range () =
+  let gen = g () in
+  for _ = 1 to 10_000 do
+    let f = Prng.float gen in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %g" f
+  done
+
+let test_float_mean () =
+  let m = mean_of 100_000 Prng.float in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.01)
+
+let test_int_range_and_uniformity () =
+  let gen = g () in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int gen 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int n /. 10.0 in
+      if Float.abs (float_of_int c -. expected) > 0.05 *. expected then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    counts;
+  Alcotest.(check int) "int 1 is 0" 0 (Prng.int gen 1);
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int") (fun () ->
+      ignore (Prng.int gen 0))
+
+let test_bernoulli () =
+  let m = mean_of 100_000 (fun gen -> if Prng.bernoulli gen 0.3 then 1.0 else 0.0) in
+  Alcotest.(check bool) "p=0.3" true (Float.abs (m -. 0.3) < 0.01);
+  let gen = g () in
+  Alcotest.(check bool) "p=0 never" false (Prng.bernoulli gen 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.bernoulli gen 1.0);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Prng.bernoulli")
+    (fun () -> ignore (Prng.bernoulli gen 1.5))
+
+let test_bernoulli_rational () =
+  let p = Rational.of_ints 1 3 in
+  let m =
+    mean_of 90_000 (fun gen -> if Prng.bernoulli_rational gen p then 1.0 else 0.0)
+  in
+  Alcotest.(check bool) "p=1/3" true (Float.abs (m -. (1.0 /. 3.0)) < 0.01);
+  let gen = g () in
+  Alcotest.(check bool) "0 never" false
+    (Prng.bernoulli_rational gen Rational.zero);
+  Alcotest.(check bool) "1 always" true
+    (Prng.bernoulli_rational gen Rational.one)
+
+let test_geometric () =
+  (* mean of geometric(p) with support {0,1,...} is (1-p)/p *)
+  let m = mean_of 100_000 (fun gen -> float_of_int (Prng.geometric gen 0.25)) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (m -. 3.0) < 0.1);
+  let gen = g () in
+  Alcotest.(check int) "p=1 is 0" 0 (Prng.geometric gen 1.0);
+  Alcotest.check_raises "p=0" (Invalid_argument "Prng.geometric") (fun () ->
+      ignore (Prng.geometric gen 0.0))
+
+let test_exponential () =
+  let m = mean_of 100_000 (fun gen -> Prng.exponential gen 2.0) in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_uniform_in () =
+  let gen = g () in
+  for _ = 1 to 1000 do
+    let v = Prng.uniform_in gen 3.0 7.0 in
+    if v < 3.0 || v >= 7.0 then Alcotest.failf "uniform_in out of range: %g" v
+  done
+
+let test_pick_categorical () =
+  let gen = g () in
+  Alcotest.(check bool) "pick member" true
+    (List.mem (Prng.pick gen [| 1; 2; 3 |]) [ 1; 2; 3 ]);
+  Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick") (fun () ->
+      ignore (Prng.pick gen ([||] : int array)));
+  (* categorical with weights 1:3 -> second bucket ~ 75% *)
+  let hits = ref 0 in
+  let n = 40_000 in
+  let gen = g () in
+  for _ = 1 to n do
+    if Prng.categorical gen [| 1.0; 3.0 |] = 1 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "categorical ratio" true (Float.abs (frac -. 0.75) < 0.02);
+  Alcotest.check_raises "all zero" (Invalid_argument "Prng.categorical")
+    (fun () -> ignore (Prng.categorical gen [| 0.0; 0.0 |]))
+
+let test_shuffle () =
+  let gen = g () in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle gen a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 Fun.id)
+
+let test_sample_without_replacement () =
+  let gen = g () in
+  let s = Prng.sample_without_replacement gen 10 100 in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq compare s) = 10);
+  Alcotest.(check bool) "in range" true (List.for_all (fun x -> x >= 0 && x < 100) s);
+  Alcotest.(check bool) "sorted" true (List.sort compare s = s);
+  let all = Prng.sample_without_replacement gen 5 5 in
+  Alcotest.(check (list int)) "k = n" [ 0; 1; 2; 3; 4 ] all;
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Prng.sample_without_replacement") (fun () ->
+      ignore (Prng.sample_without_replacement gen 6 5))
+
+let props =
+  [
+    QCheck.Test.make ~name:"int g n in range" ~count:500
+      (QCheck.int_range 1 1_000_000)
+      (fun n ->
+        let gen = Prng.create ~seed:n () in
+        let v = Prng.int gen n in
+        v >= 0 && v < n);
+    QCheck.Test.make ~name:"sample_without_replacement valid" ~count:200
+      QCheck.(pair (int_range 0 50) (int_range 0 50))
+      (fun (a, b) ->
+        let k = min a b and n = max a b in
+        let gen = Prng.create ~seed:(a + (b * 57)) () in
+        let s = Prng.sample_without_replacement gen k n in
+        List.length s = k
+        && List.length (List.sort_uniq compare s) = k
+        && List.for_all (fun x -> x >= 0 && x < n) s);
+  ]
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Slow test_float_mean;
+          Alcotest.test_case "int uniformity" `Slow test_int_range_and_uniformity;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "bernoulli" `Slow test_bernoulli;
+          Alcotest.test_case "bernoulli rational" `Slow test_bernoulli_rational;
+          Alcotest.test_case "geometric" `Slow test_geometric;
+          Alcotest.test_case "exponential" `Slow test_exponential;
+          Alcotest.test_case "uniform_in" `Quick test_uniform_in;
+          Alcotest.test_case "pick/categorical" `Quick test_pick_categorical;
+          Alcotest.test_case "shuffle" `Quick test_shuffle;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]
