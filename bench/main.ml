@@ -23,7 +23,7 @@ let header id title =
   Printf.printf "================================================================\n";
   flush stdout
 
-let row fmt = Printf.printf fmt
+let row fmt = Printf.kfprintf (fun oc -> flush oc) stdout fmt
 
 (* Shared sources *)
 let geo_source () =
@@ -610,6 +610,84 @@ let e15 () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* E16 - batch truncation vs incremental anytime evaluation            *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "E16"
+    "Batch truncation vs incremental anytime (shared BDD manager across steps)";
+  (* Two query shapes: a pure existential chain exercises the delta path
+     (only the fresh ground instances are compiled per step); the Boolean
+     combination of quantified sentences is opaque to the shape analysis,
+     so every step recompiles — but inside the session's one manager,
+     where the apply cache already holds every sub-function of the
+     previous step's lineage. *)
+  let queries =
+    [
+      ("exists x. R(x)", "delta path");
+      ("(exists x. R(x)) & !(forall y. R(y))", "recompile path");
+    ]
+  in
+  let sources =
+    [
+      ((geo_source : unit -> Fact_source.t), 0.001);
+      (* Tighter eps on the quadratic source sends the exact-rational
+         batch engine into huge-denominator territory; the anytime side
+         would not mind (interval carrier), but the comparison must run
+         both. *)
+      (telescoping_source, 0.01);
+      (log_slow_source, 0.05);  (* log decay: eps 0.001 needs n ~ e^300 *)
+    ]
+  in
+  List.iter
+    (fun (mk, eps) ->
+      List.iter
+        (fun (qtext, mode) ->
+          let phi = parse qtext in
+          let bsrc = mk () in
+          let r = Approx_eval.boolean ~max_n:(1 lsl 22) bsrc ~eps phi in
+          row "\n  source %-20s eps %-8g query %s  [%s]\n"
+            (Fact_source.name bsrc) eps qtext mode;
+          row "    batch:   n=%-6d est=%.6f certified [%.6f, %.6f]\n"
+            r.Approx_eval.n_used
+            (Rational.to_float r.Approx_eval.estimate)
+            (Interval.lo r.Approx_eval.bounds)
+            (Interval.hi r.Approx_eval.bounds);
+          let sess = Anytime.create ~eps ~max_n:(1 lsl 22) (mk ()) phi in
+          let reason, steps = Anytime.run sess in
+          row "    %-5s %-8s %-10s %-10s %-6s %-10s %s\n" "step" "n" "width"
+            "bdd-size" "mode" "apply-hit" "nodes-alloc";
+          List.iter
+            (fun (s : Anytime.step) ->
+              row "    %-5d %-8d %-10.2e %-10d %-6s %-10.0f %.0f\n"
+                s.Anytime.index s.Anytime.n s.Anytime.width s.Anytime.bdd_size
+                (if s.Anytime.incremental then "delta" else "full")
+                (Stats.find s.Anytime.stats "bdd.apply_hit")
+                (Stats.find s.Anytime.stats "bdd.nodes_allocated"))
+            steps;
+          let carried_hits =
+            List.fold_left
+              (fun acc (s : Anytime.step) ->
+                if s.Anytime.index > 1 then
+                  acc +. Stats.find s.Anytime.stats "bdd.apply_hit"
+                else acc)
+              0.0 steps
+          in
+          let final_width =
+            match Anytime.last_step sess with
+            | Some s -> s.Anytime.width
+            | None -> nan
+          in
+          row
+            "    anytime: stopped (%s) at n=%d, width %.2e (target %.2e), \
+             %d manager nodes, %.0f apply-cache hits carried past step 1\n"
+            (Anytime.stop_reason_to_string reason)
+            (Anytime.current_n sess) final_width (2.0 *. eps)
+            (Anytime.node_count sess) carried_hits)
+        queries)
+    sources
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,7 +695,7 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E14", e14); ("E15", e15);
+    ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]

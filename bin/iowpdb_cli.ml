@@ -9,20 +9,15 @@
    Table files are the Ti_table text format: one "R(args...) prob" per
    line, '#' comments.  Open-world policies: --policy lambda:<p>:<k>
    (k fresh facts of probability p over relation N) or
-   --policy geometric:<first>:<ratio> (infinitely many N(0), N(1), ...). *)
+   --policy geometric:<first>:<ratio> (infinitely many N(0), N(1), ...).
+
+   Subcommands that do real inference take --stats to print the
+   instrumentation counters (BDD cache traffic, fact-source pulls,
+   engine dispatch) accumulated during the run. *)
 
 open Cmdliner
 
-let read_table path =
-  let ic = open_in path in
-  let rec lines acc =
-    match input_line ic with
-    | line -> lines (line :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  let l = lines [] in
-  close_in ic;
-  Ti_table.of_lines l
+let read_table = Ti_table.of_file
 
 let parse_policy spec ti =
   match String.split_on_char ':' spec with
@@ -56,7 +51,27 @@ let query_arg p =
     & pos p (some string) None
     & info [] ~docv:"QUERY" ~doc:"First-order query, e.g. 'exists x. R(x, 1)'.")
 
-let run_query table query =
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print instrumentation counters (BDD cache traffic, fact-source \
+           pulls, engine dispatch, wall-clock) accumulated during the run.")
+
+let with_stats enabled f =
+  let before = Stats.snapshot () in
+  let r = f () in
+  if enabled then begin
+    print_newline ();
+    print_endline "-- stats --";
+    Stats.report Format.std_formatter (Stats.diff (Stats.snapshot ()) before);
+    Format.pp_print_flush Format.std_formatter ()
+  end;
+  r
+
+let run_query table query stats =
+  with_stats stats @@ fun () ->
   let ti = read_table table in
   let phi = Fo_parse.parse_exn query in
   if Fo.free_vars phi = [] then begin
@@ -74,7 +89,7 @@ let run_query table query =
 let query_cmd =
   let doc = "Exact query evaluation on a closed-world TI table." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ table_arg $ query_arg 1)
+    Term.(const run_query $ table_arg $ query_arg 1 $ stats_arg)
 
 let policy_arg =
   Arg.(
@@ -90,7 +105,8 @@ let eps_arg =
     & opt float 0.01
     & info [ "eps" ] ~docv:"EPS" ~doc:"Additive error budget in (0, 1/2).")
 
-let run_open table query policy eps =
+let run_open table query policy eps stats =
+  with_stats stats @@ fun () ->
   let ti = read_table table in
   let c = parse_policy policy ti in
   let phi = Fo_parse.parse_exn query in
@@ -105,7 +121,45 @@ let run_open table query policy eps =
 let open_cmd =
   let doc = "Open-world (completed) approximate query evaluation." in
   Cmd.v (Cmd.info "open" ~doc)
-    Term.(const run_open $ table_arg $ query_arg 1 $ policy_arg $ eps_arg)
+    Term.(
+      const run_open $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
+      $ stats_arg)
+
+let run_anytime table query policy eps stats =
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let c = parse_policy policy ti in
+  let src =
+    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+  in
+  let phi = Fo_parse.parse_exn query in
+  let sess = Anytime.create ~eps src phi in
+  let reason, steps = Anytime.run sess in
+  List.iter
+    (fun (s : Anytime.step) ->
+      Printf.printf
+        "step %2d: n=%6d  est=%.8f  in [%.8f, %.8f]  width=%.2e  bdd=%d  %s\n"
+        s.Anytime.index s.Anytime.n
+        (Interval.mid s.Anytime.estimate)
+        (Interval.lo s.Anytime.bounds)
+        (Interval.hi s.Anytime.bounds)
+        s.Anytime.width s.Anytime.bdd_size
+        (if s.Anytime.incremental then "delta" else "recompile"))
+    steps;
+  Printf.printf "stopped: %s after %d steps (n=%d, %d nodes in the manager)\n"
+    (Anytime.stop_reason_to_string reason)
+    (List.length steps) (Anytime.current_n sess) (Anytime.node_count sess)
+
+let anytime_cmd =
+  let doc =
+    "Incremental anytime evaluation: deepen the truncation step by step, \
+     reusing BDD work, until the certified interval has width at most \
+     2*eps."
+  in
+  Cmd.v (Cmd.info "anytime" ~doc)
+    Term.(
+      const run_anytime $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
+      $ stats_arg)
 
 let samples_arg =
   Arg.(
@@ -165,4 +219,7 @@ let info_cmd =
 let () =
   let doc = "infinite open-world probabilistic databases" in
   let info = Cmd.info "iowpdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; open_cmd; sample_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; open_cmd; anytime_cmd; sample_cmd; info_cmd ]))

@@ -1,0 +1,379 @@
+(* Incremental anytime evaluation: deepen the truncation prefix of
+   Proposition 6.1 step by step, reusing lineage/BDD work across steps
+   instead of recompiling from scratch at each precision level.
+
+   Reuse mechanisms, all resting on the fact that [Lineage.alphabet]
+   assigns variable [i] to the [i]-th enumerated fact — so the alphabet of
+   a longer prefix literally extends the alphabet of a shorter one:
+
+   - the session owns one {!Bdd.manager} for its whole lifetime, so even a
+     full recompile of the grown lineage replays against warm unique /
+     apply / negation caches;
+
+   - variables are ordered newest-first ([order v = -v]): joining the
+     lineage of fresh ground instances then only builds nodes above the
+     old root instead of rewriting every suffix of the diagram (for the
+     common existential chain this turns the per-step node growth from
+     O(n) into O(delta));
+
+   - when the sentence is a pure quantifier chain [Q x1...xk. psi] with a
+     quantifier-free matrix, a step compiles only the {e delta} lineage —
+     the ground instances that mention a fresh domain value — and
+     disjoins/conjoins it onto the previous BDD.  When a fact added this
+     step lies entirely inside the old evaluation domain, a ground atom
+     that previously compiled to [False] ("holds in no world over this
+     alphabet") would now name an alphabet variable, invalidating the old
+     ground instances; we detect that and fall back to a recompile, which
+     is always sound.
+
+   Certification across steps needs care: the classical engines evaluate
+   over the active domain of the truncated table, and that semantics
+   *moves* as the prefix deepens — over a 1-element domain
+   [exists x. R(x) & !(forall y. R(y))] is identically false, so its
+   step-1 enclosure says nothing about the limit and must not be
+   intersected with later ones.  We therefore evaluate every step over
+   the prefix domain padded with [quantifier_rank phi] fresh inert
+   values, realizing the r-equivalence argument behind Proposition 6.1:
+   by an Ehrenfeucht-Fraissé argument, a world whose support lies inside
+   the prefix evaluates identically over every larger domain (inert
+   values satisfy no relation atom and are pairwise interchangeable, and
+   r rounds can touch at most r of them).  Every per-step enclosure then
+   bounds the same limit probability, so intersecting them — the
+   monotone-narrowing interval we report — is sound.  The one query
+   feature that breaks interchangeability is the built-in order [Cmp];
+   for such queries we skip the intersection and report each step's
+   enclosure of its own truncated-semantics value. *)
+
+module VSet = Set.Make (Value)
+
+(* Per-step model counts use the certified interval carrier, not exact
+   rationals: on slowly-decaying sources the prefix probabilities have
+   pairwise-coprime denominators, so exact WMC costs a huge-integer gcd
+   per BDD node and goes cubic in the prefix length — fatal for an engine
+   whose whole point is cheap re-evaluation at every depth.  Outward
+   rounding keeps every emitted enclosure sound. *)
+module W = Wmc.Make (Prob.Interval_carrier)
+
+let c_steps = Stats.counter "anytime.steps"
+let c_delta = Stats.counter "anytime.delta_steps"
+let c_recompile = Stats.counter "anytime.recompile_steps"
+let step_timer = Stats.timer "anytime.step"
+
+type stop_reason =
+  | Converged
+  | Exhausted
+  | Step_budget
+  | Node_budget
+  | Prefix_budget
+
+let stop_reason_to_string = function
+  | Converged -> "converged"
+  | Exhausted -> "exhausted"
+  | Step_budget -> "step budget"
+  | Node_budget -> "node budget"
+  | Prefix_budget -> "prefix budget"
+
+type step = {
+  index : int;
+  n : int;
+  tail : float option;
+  estimate : Interval.t;
+  bounds : Interval.t;
+  width : float;
+  bdd_size : int;
+  incremental : bool;
+  stats : Stats.snapshot;
+}
+
+type chain_kind = Ch_exists | Ch_forall
+
+(* [Chain (kind, xs, matrix)]: the sentence is [Q xs. matrix] with a
+   quantifier-free matrix and pairwise-distinct bound names (shadowed
+   names would make the tuple/binding correspondence ambiguous). *)
+type shape =
+  | Chain of chain_kind * string list * Fo.t
+  | Opaque
+
+let shape_of phi =
+  let rec strip kind acc = function
+    | Fo.Exists (x, f) when kind = Ch_exists -> strip kind (x :: acc) f
+    | Fo.Forall (x, f) when kind = Ch_forall -> strip kind (x :: acc) f
+    | f -> (List.rev acc, f)
+  in
+  let chain kind =
+    let xs, matrix = strip kind [] phi in
+    if
+      Fo.is_quantifier_free matrix
+      && List.length xs = List.length (List.sort_uniq String.compare xs)
+    then Chain (kind, xs, matrix)
+    else Opaque
+  in
+  match phi with
+  | Fo.Exists _ -> chain Ch_exists
+  | Fo.Forall _ -> chain Ch_forall
+  | _ -> if Fo.is_quantifier_free phi then Chain (Ch_exists, [], phi) else Opaque
+
+let rec has_cmp = function
+  | Fo.Cmp _ -> true
+  | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> false
+  | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) -> has_cmp f
+  | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) ->
+    has_cmp a || has_cmp b
+
+type t = {
+  src : Fact_source.t;
+  phi : Fo.t;
+  shape : shape;
+  intersectable : bool;  (* Cmp-free: padded enclosures share one limit *)
+  pad_count : int;  (* quantifier_rank phi *)
+  eps : float;
+  max_n : int;
+  max_steps : int;
+  max_nodes : int;
+  growth : int -> int;
+  mgr : Bdd.manager;
+  mutable n : int;  (* current truncation depth *)
+  mutable bdd : Bdd.t;  (* lineage of phi over the first n facts *)
+  mutable probs : Rational.t array;  (* marginals of the first n facts *)
+  mutable adom : VSet.t;  (* adom(prefix) ∪ constants(phi), no padding *)
+  mutable padding : VSet.t;  (* the inert padding values *)
+  mutable pad_attempt : int;  (* bumped when a fact collides with padding *)
+  mutable best_tail : float option;  (* min certified tail seen so far *)
+  mutable bounds : Interval.t;  (* running enclosure *)
+  mutable steps_rev : step list;
+  mutable stopped : stop_reason option;
+}
+
+(* Padding values live in the string sort under a name no sane dataset
+   uses; collisions with actual source values are detected anyway (at
+   choice time against the current active domain, and per step for
+   incoming facts) and resolved by re-choosing and recompiling. *)
+let rec choose_padding ~avoid ~attempt k =
+  let cand =
+    List.init k (fun i -> Value.Str (Printf.sprintf "\x00pad.%d.%d" attempt i))
+  in
+  if List.exists (fun v -> VSet.mem v avoid) cand then
+    choose_padding ~avoid ~attempt:(attempt + 1) k
+  else (VSet.of_list cand, attempt)
+
+let eval_domain t = VSet.union t.adom t.padding
+
+let compile_full t alpha =
+  Bdd.of_expr t.mgr
+    (Lineage.of_sentence ~extra:(VSet.elements t.padding) alpha t.phi)
+
+let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
+    ?(max_nodes = max_int) ?growth src phi =
+  if not (eps > 0.0 && eps < 0.5) then
+    invalid_arg "Anytime: eps must lie in (0, 1/2)";
+  if Fo.free_vars phi <> [] then
+    invalid_arg "Anytime: query must be a sentence";
+  let growth =
+    match growth with
+    | Some g -> fun n -> Stdlib.max (n + 1) (g n)
+    | None -> fun n -> Stdlib.max (n + 1) (2 * n)
+  in
+  (* Newest-first order: later facts sit closer to the root, so joining
+     delta lineage extends the diagram at the top. *)
+  let mgr = Bdd.manager ~order:(fun v -> -v) () in
+  let adom = VSet.of_list (Fo.constants phi) in
+  let pad_count = Fo.quantifier_rank phi in
+  let padding, pad_attempt =
+    choose_padding ~avoid:adom ~attempt:0 pad_count
+  in
+  let t =
+    {
+      src;
+      phi;
+      shape = shape_of phi;
+      intersectable = not (has_cmp phi);
+      pad_count;
+      eps;
+      max_n;
+      max_steps;
+      max_nodes;
+      growth;
+      mgr;
+      n = 0;
+      bdd = Bdd.fls mgr;
+      probs = [||];
+      adom;
+      padding;
+      pad_attempt;
+      best_tail = None;
+      bounds = Interval.make 0.0 1.0;
+      steps_rev = [];
+      stopped = None;
+    }
+  in
+  (* Depth-0 lineage: empty alphabet, domain = constants ∪ padding.  Every
+     atom compiles to [False] there, so this settles e.g. a universal
+     sentence to its padded (stable) value rather than the vacuous
+     empty-domain [True]. *)
+  t.bdd <- compile_full t (Lineage.alphabet []);
+  t
+
+let eps t = t.eps
+let current_n t = t.n
+let history t = List.rev t.steps_rev
+let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
+let stop_reason t = t.stopped
+let node_count t = Bdd.node_count t.mgr
+
+let fact_args f = Array.to_list f.Fact.args
+
+(* All k-tuples over [dom] that use at least one value outside [old_dom]
+   — exactly the ground instances absent from the previous step's
+   quantifier expansion. *)
+let fresh_tuples k dom old_dom =
+  let rec go k =
+    if k = 0 then Seq.return ([], false)
+    else
+      Seq.concat_map
+        (fun (rest, has_fresh) ->
+          Seq.map
+            (fun v -> (v :: rest, has_fresh || not (VSet.mem v old_dom)))
+            (List.to_seq dom))
+        (go (k - 1))
+  in
+  Seq.filter_map
+    (fun (vals, has_fresh) -> if has_fresh then Some vals else None)
+    (go k)
+
+(* The body of one deepening step; mutates [t] and returns the data the
+   step record needs. *)
+let advance t =
+  let target = Stdlib.min t.max_n (t.growth t.n) in
+  let prefix = Fact_source.prefix t.src target in
+  let n' = List.length prefix in
+  let facts = List.map fst prefix in
+  let alpha = Lineage.alphabet facts in
+  let delta_facts = List.filteri (fun i _ -> i >= t.n) facts in
+  let old_dom = eval_domain t in
+  let stable =
+    (* Sound to keep the old BDD iff every fact added this step mentions
+       a value the old ground instances could not reach. *)
+    List.for_all
+      (fun f -> List.exists (fun v -> not (VSet.mem v old_dom)) (fact_args f))
+      delta_facts
+  in
+  t.adom <-
+    List.fold_left
+      (fun acc f ->
+        List.fold_left (fun acc v -> VSet.add v acc) acc (fact_args f))
+      t.adom delta_facts;
+  (* A fact naming one of our padding values turns it from inert to live:
+     re-choose the padding (the shape analysis will recompile, since such
+     a fact also fails the stability check). *)
+  if List.exists (fun f -> List.exists (fun v -> VSet.mem v t.padding) (fact_args f))
+       delta_facts
+  then begin
+    let padding, attempt =
+      choose_padding ~avoid:t.adom ~attempt:(t.pad_attempt + 1) t.pad_count
+    in
+    t.padding <- padding;
+    t.pad_attempt <- attempt
+  end;
+  let bdd', incremental =
+    if delta_facts = [] then (t.bdd, true)
+    else
+      match t.shape with
+      | Chain (kind, xs, matrix) when stable ->
+        Stats.incr c_delta;
+        let k = List.length xs in
+        let dom_list = VSet.elements (eval_domain t) in
+        let join =
+          match kind with Ch_exists -> Bdd.disj | Ch_forall -> Bdd.conj
+        in
+        let bdd =
+          Seq.fold_left
+            (fun acc vals ->
+              let lin =
+                Lineage.of_formula alpha (List.combine xs vals) matrix
+              in
+              join t.mgr acc (Bdd.of_expr t.mgr lin))
+            t.bdd
+            (fresh_tuples k dom_list old_dom)
+        in
+        (bdd, true)
+      | _ ->
+        Stats.incr c_recompile;
+        (compile_full t alpha, false)
+  in
+  let probs = Array.of_list (List.map snd prefix) in
+  let estimate =
+    W.probability
+      ~weight:(fun v -> Prob.Interval_carrier.of_rational probs.(v))
+      bdd'
+  in
+  let tail_now = Fact_source.tail_mass t.src n' in
+  let best =
+    match (t.best_tail, tail_now) with
+    | Some a, Some b -> Some (Float.min a b)
+    | (Some _ as a), None -> a
+    | None, b -> b
+  in
+  let fresh_bounds =
+    match best with
+    | Some tl ->
+      Approx_eval.enclosure_interval estimate
+        (Approx_eval.omega_bounds_of_tail tl)
+    | None -> Interval.make 0.0 1.0
+  in
+  let bounds =
+    if not t.intersectable then fresh_bounds
+    else
+      (* Padded enclosures all bound the same limit probability, so the
+         intersection is sound.  (An empty intersection would witness an
+         unsound tail certificate; keep the old interval then.) *)
+      match Interval.intersect fresh_bounds t.bounds with
+      | Some b -> b
+      | None -> t.bounds
+  in
+  let exhausted = n' < target in
+  t.n <- n';
+  t.bdd <- bdd';
+  t.probs <- probs;
+  t.best_tail <- best;
+  t.bounds <- bounds;
+  (estimate, best, bounds, Bdd.size bdd', incremental, exhausted)
+
+let step t =
+  match t.stopped with
+  | Some _ -> None
+  | None ->
+    Stats.incr c_steps;
+    let before = Stats.snapshot () in
+    let estimate, tail, bounds, bdd_size, incremental, exhausted =
+      Stats.time step_timer (fun () -> advance t)
+    in
+    let stats = Stats.diff (Stats.snapshot ()) before in
+    let index = List.length t.steps_rev + 1 in
+    let width = Interval.width bounds in
+    let st =
+      {
+        index;
+        n = t.n;
+        tail;
+        estimate;
+        bounds;
+        width;
+        bdd_size;
+        incremental;
+        stats;
+      }
+    in
+    t.steps_rev <- st :: t.steps_rev;
+    t.stopped <-
+      (if width <= 2.0 *. t.eps then Some Converged
+       else if exhausted then Some Exhausted
+       else if t.n >= t.max_n then Some Prefix_budget
+       else if index >= t.max_steps then Some Step_budget
+       else if Bdd.node_count t.mgr >= t.max_nodes then Some Node_budget
+       else None);
+    Some st
+
+let run t =
+  let rec go () = match step t with Some _ -> go () | None -> () in
+  go ();
+  (Option.get t.stopped, history t)

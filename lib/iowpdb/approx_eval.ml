@@ -22,11 +22,16 @@ let truncation_point ?max_n src ~eps =
   check_eps eps;
   Fact_source.prefix_for_tail ?max_n src (required_tail eps)
 
+(* The truncation search returns both n and the certified tail bound it
+   observed there; threading the value through (instead of re-asking the
+   certificate afterwards) is what keeps [result.tail_mass] meaningful
+   even for certificates whose answers depend on mutable scan state. *)
 let truncate_or_fail ?max_n src ~eps =
-  match truncation_point ?max_n src ~eps with
-  | Some n -> n
+  check_eps eps;
+  match Fact_source.truncation ?max_n src (required_tail eps) with
+  | Some nt -> nt
   | None ->
-    if not (Fact_source.converges src) then
+    if not (Fact_source.converges ?max_n src) then
       invalid_arg
         (Printf.sprintf
            "Approx_eval: source %s diverges; no tuple-independent PDB exists \
@@ -39,32 +44,44 @@ let truncate_or_fail ?max_n src ~eps =
             truncation below the bound (cf. the closing remark of Section 6)"
            (Fact_source.name src))
 
-let omega_bounds src n =
-  (* P(Omega_n) = prod_{i>=n} (1 - p_i): none of the truncated facts
-     occurs.  Lower bound from claim (∗), upper bound trivially 1 minus
-     nothing (each factor <= 1). *)
-  match Fact_source.tail_mass src n with
-  | Some t when t < 0.5 -> Interval.make (exp (-1.5 *. t)) 1.0
-  | Some _ -> Interval.make 0.0 1.0
-  | None -> assert false
+(* P(Omega_n) = prod_{i>=n} (1 - p_i): none of the truncated facts
+   occurs.  Lower bound from claim (∗), upper bound trivially 1 minus
+   nothing (each factor <= 1). *)
+let omega_bounds_of_tail t =
+  if t < 0.5 then Interval.make (exp (-1.5 *. t)) 1.0
+  else Interval.make 0.0 1.0
+
+let enclosure_interval pf om =
+  let lower = Interval.mul pf om in
+  Interval.clamp01
+    (Interval.make (Interval.lo lower)
+       (Interval.hi (Interval.add lower (Interval.compl om))))
+
+let enclosure p om = enclosure_interval (Prob.Interval_carrier.of_rational p) om
 
 let boolean ?max_n src ~eps phi =
-  let n = truncate_or_fail ?max_n src ~eps in
+  let n, tail = truncate_or_fail ?max_n src ~eps in
   let table = Fact_source.truncate src n in
-  let p = Query_eval.boolean table phi in
-  let tail = Option.value (Fact_source.tail_mass src n) ~default:nan in
-  let om = omega_bounds src n in
-  let pf = Prob.Interval_carrier.of_rational p in
-  let lower = Interval.mul pf om in
-  let bounds =
-    Interval.clamp01
-      (Interval.make (Interval.lo lower)
-         (Interval.hi (Interval.add lower (Interval.compl om))))
+  (* If the enumeration turned out to end at or before n, the tail is
+     exactly 0 — sharper than whatever the certificate promised, and it
+     keeps nan out of [result] on sources whose certificate cannot answer
+     again after the search. *)
+  let tail =
+    match Fact_source.tail_mass src n with Some t -> Float.min t tail | None -> tail
   in
-  { estimate = p; eps; n_used = n; tail_mass = tail; omega_n_bounds = om; bounds }
+  let p = Query_eval.boolean table phi in
+  let om = omega_bounds_of_tail tail in
+  {
+    estimate = p;
+    eps;
+    n_used = n;
+    tail_mass = tail;
+    omega_n_bounds = om;
+    bounds = enclosure p om;
+  }
 
 let marginals ?max_n src ~eps phi =
-  let n = truncate_or_fail ?max_n src ~eps in
+  let n, _ = truncate_or_fail ?max_n src ~eps in
   let table = Fact_source.truncate src n in
   Query_eval.marginals table phi
 

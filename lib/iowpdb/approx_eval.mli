@@ -39,6 +39,29 @@ val truncation_point : ?max_n:int -> Fact_source.t -> eps:float -> int option
 (** The [n(eps)] the algorithm would use; exposed for experiment E2
     (growth of [n(eps)] across decay regimes). *)
 
+(** {1 Certification primitives}
+
+    Shared with the incremental evaluator ({!Anytime}), which re-derives
+    the same enclosures step by step. *)
+
+val required_tail : float -> float
+(** The tail-mass budget [2/3 * ln(1 + eps)] that makes claim (∗) certify
+    an additive error of [eps]. *)
+
+val omega_bounds_of_tail : float -> Interval.t
+(** Enclosure of [P(Omega_n)] from a certified tail bound: claim (∗)
+    below, trivial 1 above; [\[0,1\]] once the tail reaches 1/2. *)
+
+val enclosure : Rational.t -> Interval.t -> Interval.t
+(** [enclosure p om]: the implied enclosure
+    [p * P(Omega_n) <= P(Q) <= p * P(Omega_n) + (1 - P(Omega_n))],
+    clamped to [\[0,1\]]. *)
+
+val enclosure_interval : Interval.t -> Interval.t -> Interval.t
+(** Same, from an interval enclosure of [P(Q | Omega_n)] instead of the
+    exact rational — the form the anytime evaluator uses, where exact
+    per-step rational model counts would be needlessly expensive. *)
+
 val marginals :
   ?max_n:int -> Fact_source.t -> eps:float -> Fo.t ->
   (Tuple.t * Rational.t) list

@@ -34,6 +34,9 @@ type t = {
 
 let scan_bound = 2048
 
+let c_pull = Stats.counter "source.pull"
+let c_tail_probe = Stats.counter "source.tail_probe"
+
 let make ?(name = "source") ~enum ~tail () =
   {
     name;
@@ -50,6 +53,7 @@ let name s = s.name
 let pull s =
   if s.exhausted then false
   else begin
+    Stats.incr c_pull;
     match s.rest () with
     | Seq.Nil ->
       s.exhausted <- true;
@@ -103,14 +107,37 @@ let tail_mass s n =
      the tail is exactly 0 regardless of the certificate.  We deliberately
      do NOT force the enumeration here: callers probe tails at very deep n
      (truncation search), and the certificate alone must answer. *)
+  Stats.incr c_tail_probe;
   if s.exhausted && Dyn.length s.cache <= n then Some 0.0 else s.tail n
 
-let converges s =
-  List.exists (fun n -> tail_mass s n <> None) [ 0; 1; 16; 1024 ]
+let default_max_n = 1 lsl 20
 
-let prefix_for_tail ?(max_n = 1 lsl 20) s bound =
-  if bound < 0.0 then invalid_arg "Fact_source.prefix_for_tail";
-  let ok n = match tail_mass s n with Some t -> t <= bound | None -> false in
+let converges ?(max_n = default_max_n) s =
+  (* Probe geometrically up to max_n: a certificate is allowed to first
+     answer at any depth (e.g. only past the scanned prefix), so the old
+     fixed ladder {0, 1, 16, 1024} misclassified deep-but-certified
+     sources as divergent. *)
+  let rec go n =
+    tail_mass s n <> None
+    || (n < max_n && go (Stdlib.min max_n (Stdlib.max 1 (2 * n))))
+  in
+  go 0
+
+let truncation ?(max_n = default_max_n) s bound =
+  if bound < 0.0 then invalid_arg "Fact_source.truncation";
+  (* Probe each index at most once and remember the certified value, so
+     the caller never has to re-ask the certificate (whose answers may
+     depend on mutable scan state, or on a bounded probe budget). *)
+  let probed = Hashtbl.create 16 in
+  let probe n =
+    match Hashtbl.find_opt probed n with
+    | Some r -> r
+    | None ->
+      let r = tail_mass s n in
+      Hashtbl.add probed n r;
+      r
+  in
+  let ok n = match probe n with Some t -> t <= bound | None -> false in
   if not (ok max_n) then None
   else begin
     let rec gallop n = if ok n then n else gallop (Stdlib.min max_n ((2 * n) + 1)) in
@@ -122,8 +149,13 @@ let prefix_for_tail ?(max_n = 1 lsl 20) s bound =
         if ok mid then bisect lo mid else bisect (mid + 1) hi
       end
     in
-    Some (bisect 0 hi)
+    let n = bisect 0 hi in
+    match Hashtbl.find_opt probed n with
+    | Some (Some t) -> Some (n, t)
+    | _ -> assert false (* bisect only returns verified points *)
   end
+
+let prefix_for_tail ?max_n s bound = Option.map fst (truncation ?max_n s bound)
 
 let prefix_sum s n =
   List.fold_left (fun acc (_, p) -> Rational.add acc p) Rational.zero (prefix s n)

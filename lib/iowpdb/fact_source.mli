@@ -71,10 +71,22 @@ val prefix : t -> int -> (Fact.t * Rational.t) list
 (** The first [min n length] entries. *)
 
 val tail_mass : t -> int -> float option
-val converges : t -> bool
+
+val converges : ?max_n:int -> t -> bool
+(** Whether the source carries a finite tail certificate, probing
+    geometrically ([0, 1, 2, 4, ...]) up to [max_n] (default [2^20]).  A
+    certificate may legitimately first answer at depth — e.g. only past
+    the already-scanned prefix — so a [false] here means "no certificate
+    below [max_n]", not a proof of divergence. *)
+
+val truncation : ?max_n:int -> t -> float -> (int * float) option
+(** Least [n] with [tail n <= bound] together with the certified tail
+    value at that [n] (galloping + binary search).  Each index is probed
+    at most once and the returned value is the one observed during the
+    search, so callers need never re-consult the certificate. *)
 
 val prefix_for_tail : ?max_n:int -> t -> float -> int option
-(** Least [n] with [tail n <= bound] (galloping + binary search). *)
+(** [truncation] without the certified value. *)
 
 val total_mass_upper : t -> int -> float option
 (** Exact prefix sum (as float) plus the tail bound at [n]. *)

@@ -9,6 +9,14 @@ type t =
 
 type op = Op_and | Op_or | Op_xor
 
+(* Hot-path instrumentation: single-int bumps, read via Stats.snapshot. *)
+let c_unique_hit = Stats.counter "bdd.unique_hit"
+let c_nodes = Stats.counter "bdd.nodes_allocated"
+let c_apply_hit = Stats.counter "bdd.apply_hit"
+let c_apply_miss = Stats.counter "bdd.apply_miss"
+let c_neg_hit = Stats.counter "bdd.neg_hit"
+let c_neg_miss = Stats.counter "bdd.neg_miss"
+
 type manager = {
   order : int -> int;
   unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) -> node *)
@@ -36,11 +44,14 @@ let mk m var lo hi =
   else begin
     let key = (var, id lo, id hi) in
     match Hashtbl.find_opt m.unique key with
-    | Some n -> n
+    | Some n ->
+      Stats.incr c_unique_hit;
+      n
     | None ->
       let n = Node { id = m.next_id; level = m.order var; var; lo; hi } in
       m.next_id <- m.next_id + 1;
       Hashtbl.add m.unique key n;
+      Stats.incr c_nodes;
       n
   end
 
@@ -55,8 +66,11 @@ let rec neg m t =
   | Leaf b -> Leaf (not b)
   | Node n -> (
       match Hashtbl.find_opt m.neg_cache n.id with
-      | Some r -> r
+      | Some r ->
+        Stats.incr c_neg_hit;
+        r
       | None ->
+        Stats.incr c_neg_miss;
         let r = mk m n.var (neg m n.lo) (neg m n.hi) in
         Hashtbl.add m.neg_cache n.id r;
         r)
@@ -84,8 +98,11 @@ let rec apply m op a b =
       let ia = id a and ib = id b in
       let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
       match Hashtbl.find_opt m.apply_cache key with
-      | Some r -> r
+      | Some r ->
+        Stats.incr c_apply_hit;
+        r
       | None ->
+        Stats.incr c_apply_miss;
         let la = level a and lb = level b in
         let r =
           if la < lb then begin
@@ -172,16 +189,25 @@ let sat_count t ~over =
   let over_set = ISet.of_list over in
   if not (List.for_all (fun v -> ISet.mem v over_set) sup) then
     invalid_arg "Bdd.sat_count: over must contain the support";
-  (* Count over the support first, then double for each free variable. *)
+  (* Count over the support first, then double for each free variable.
+     Collect the occurring levels with a visited table (like size/support):
+     a naive tree recursion revisits shared nodes once per path and is
+     exponential on heavily-shared DAGs. *)
   let levels =
-    List.sort_uniq compare
-      (List.filter_map
-         (function l when l = max_int -> None | l -> Some l)
-         (let rec collect acc = function
-            | Leaf _ -> acc
-            | Node n -> collect (collect (n.level :: acc) n.lo) n.hi
-          in
-          collect [] t))
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    let rec collect = function
+      | Leaf _ -> ()
+      | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.add seen n.id ();
+          acc := n.level :: !acc;
+          collect n.lo;
+          collect n.hi
+        end
+    in
+    collect t;
+    List.sort_uniq compare (List.filter (fun l -> l <> max_int) !acc)
   in
   let rank = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.add rank l i) levels;

@@ -1,0 +1,81 @@
+(* Process-global registry of named monotone counters and wall-clock
+   timers.  Counters are plain mutable ints created once (at module
+   initialisation of the instrumented code), so the hot-path cost of an
+   event is one increment; all string handling happens at registration
+   and reporting time only. *)
+
+type counter = { c_name : string; mutable c : int }
+type timer = { t_name : string; mutable seconds : float }
+
+type entry = Counter of counter | Timer of timer
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some (Timer _) ->
+    invalid_arg (Printf.sprintf "Stats.counter: %s is a timer" name)
+  | None ->
+    let c = { c_name = name; c = 0 } in
+    Hashtbl.add registry name (Counter c);
+    c
+
+let incr c = c.c <- c.c + 1
+let add c k = c.c <- c.c + k
+let count c = c.c
+
+let timer name =
+  match Hashtbl.find_opt registry name with
+  | Some (Timer t) -> t
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Stats.timer: %s is a counter" name)
+  | None ->
+    let t = { t_name = name; seconds = 0.0 } in
+    Hashtbl.add registry name (Timer t);
+    t
+
+let time t f =
+  let start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> t.seconds <- t.seconds +. (Unix.gettimeofday () -. start))
+    f
+
+let elapsed t = t.seconds
+
+type snapshot = (string * float) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e with
+      | Counter c -> (c.c_name, float_of_int c.c) :: acc
+      | Timer t -> (t.t_name ^ ".seconds", t.seconds) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name =
+  match List.assoc_opt name snap with Some v -> v | None -> 0.0
+
+let diff later earlier =
+  let names =
+    List.sort_uniq String.compare (List.map fst later @ List.map fst earlier)
+  in
+  List.map (fun n -> (n, find later n -. find earlier n)) names
+
+let reset () =
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | Counter c -> c.c <- 0
+      | Timer t -> t.seconds <- 0.0)
+    registry
+
+let report fmt snap =
+  List.iter
+    (fun (name, v) ->
+      if v <> 0.0 then
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Format.fprintf fmt "  %-32s %12.0f@." name v
+        else Format.fprintf fmt "  %-32s %12.6f@." name v)
+    snap

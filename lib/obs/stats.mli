@@ -1,0 +1,61 @@
+(** Lightweight instrumentation: named monotone counters and wall-clock
+    timers behind a process-global registry.
+
+    The hot paths of the system (BDD apply caches, fact-source pulls,
+    query-engine dispatch) bump counters created once at module
+    initialisation, so the per-event cost is a single mutable-int
+    increment — cheap enough to leave on unconditionally.  Consumers
+    (the anytime evaluator, the CLI's [--stats] flag, the bench harness)
+    read the registry through {!snapshot} and report deltas.
+
+    No dependencies beyond the standard library and [Unix] (for the
+    wall clock). *)
+
+type counter
+type timer
+
+val counter : string -> counter
+(** Create-or-lookup by name: calling [counter n] twice returns the same
+    underlying counter.  Names are conventionally dotted
+    ([subsystem.event], e.g. ["bdd.apply_hit"]). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val count : counter -> int
+(** Current value (monotone except across {!reset}). *)
+
+val timer : string -> timer
+(** Create-or-lookup, like {!counter}.  A timer accumulates wall-clock
+    seconds over all {!time} invocations. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock duration to the timer.
+    Exception-safe: the duration is recorded even if the thunk raises. *)
+
+val elapsed : timer -> float
+(** Accumulated seconds. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = (string * float) list
+(** Registry contents at one instant, sorted by name.  Counter values are
+    represented as floats; timer names carry a [".seconds"] suffix so the
+    two namespaces cannot collide. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]: entrywise subtraction (missing entries are 0);
+    the per-step delta view used by the anytime evaluator. *)
+
+val find : snapshot -> string -> float
+(** 0 when absent. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and timer (the registry itself — the
+    set of names — is preserved). *)
+
+val report : Format.formatter -> snapshot -> unit
+(** Human-readable table, one [name value] line per entry; zero entries
+    are skipped. *)

@@ -21,6 +21,9 @@ let eval_domain_ti ti phi =
 
 let alphabet_of_ti ti = Lineage.alphabet (Ti_table.support ti)
 
+let c_safe_plan = Stats.counter "query.safe_plan"
+let c_bdd_fallback = Stats.counter "query.bdd_fallback"
+
 module Make (C : Prob.CARRIER) = struct
   let weight_of_table ti f = C.of_rational (Ti_table.prob ti f)
 
@@ -43,8 +46,12 @@ module Make (C : Prob.CARRIER) = struct
 
   let boolean ti phi =
     match boolean_safe ti phi with
-    | Some p -> p
-    | None -> boolean_bdd ti phi
+    | Some p ->
+      Stats.incr c_safe_plan;
+      p
+    | None ->
+      Stats.incr c_bdd_fallback;
+      boolean_bdd ti phi
 end
 
 module Exact = Make (Prob.Rational_carrier)

@@ -134,3 +134,16 @@ let of_lines lines =
       lines
   in
   create entries
+
+let of_file path =
+  let ic = open_in path in
+  (* Close the channel even when a parse error escapes [of_lines]. *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec lines acc =
+        match input_line ic with
+        | line -> lines (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (lines []))

@@ -66,3 +66,7 @@ val to_channel : out_channel -> t -> unit
 val of_lines : string list -> t
 (** Parses the same format; blank lines and [#] comments ignored.
     @raise Invalid_argument on parse errors. *)
+
+val of_file : string -> t
+(** Reads and parses a whole file.  The file descriptor is released even
+    when parsing raises. *)

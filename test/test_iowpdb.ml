@@ -125,6 +125,39 @@ let test_source_append_interleave_map () =
    | _ -> Alcotest.fail "nonempty");
   Alcotest.(check bool) "interleaved converges" true (Fact_source.converges both)
 
+let test_source_deep_certificate () =
+  (* Regression: [converges] used to probe a fixed ladder {0, 1, 16, 1024}
+     and declared any source whose certificate first answers deeper than
+     that divergent — sending Approx_eval down the "diverges" error path
+     for sources that merely converge slowly. *)
+  let deep () =
+    Fact_source.make ~name:"deep-cert"
+      ~enum:
+        (Seq.map
+           (fun k -> (r_fact k, Rational.pow Rational.half (k + 1)))
+           (Seq.ints 0))
+      ~tail:(fun n -> if n >= 2000 then Some 0.6 else None)
+      ()
+  in
+  Alcotest.(check bool) "certificate found past the old ladder" true
+    (Fact_source.converges (deep ()));
+  Alcotest.(check bool) "no certificate below its depth" false
+    (Fact_source.converges ~max_n:1024 (deep ()));
+  (* The certificate exists but 0.6 is too weak for any eps in (0, 1/2):
+     the failure must be diagnosed as "too slowly", not divergence. *)
+  let contains ~sub msg =
+    let ls = String.length sub and lm = String.length msg in
+    let rec find i = i + ls <= lm && (String.sub msg i ls = sub || find (i + 1)) in
+    find 0
+  in
+  match Approx_eval.boolean (deep ()) ~eps:0.1 (parse "exists x. R(x)") with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      ("mentions slow convergence: " ^ msg)
+      true
+      (contains ~sub:"converges too slowly" msg)
+  | _ -> Alcotest.fail "a 0.6 tail bound cannot certify eps = 0.1"
+
 (* ------------------------------------------------------------------ *)
 (* Countable_ti (Section 4.1) *)
 (* ------------------------------------------------------------------ *)
@@ -497,6 +530,31 @@ let test_approx_divergent_rejected () =
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "divergent source must be rejected")
 
+let test_approx_exhausted_tail_exact_zero () =
+  (* Regression: [boolean] used to re-ask the tail certificate after the
+     truncation search; with a certificate that answers each depth at most
+     once the second ask failed and [tail_mass] came out nan, poisoning the
+     certified bounds.  The observed value is now threaded through, and an
+     enumeration exhausted at the truncation point sharpens it to exactly
+     0.0. *)
+  let probed = Hashtbl.create 8 in
+  let s =
+    Fact_source.make ~name:"probe-once"
+      ~enum:(List.to_seq [ (r_fact 0, q 1 2); (r_fact 1, q 1 4) ])
+      ~tail:(fun n ->
+        if Hashtbl.mem probed n then None
+        else begin
+          Hashtbl.add probed n ();
+          if n >= 2 then Some 0.0 else Some 1.0
+        end)
+      ()
+  in
+  let r = Approx_eval.boolean s ~eps:0.01 (parse "exists x. R(x)") in
+  Alcotest.(check (float 0.0)) "tail exactly 0" 0.0 r.Approx_eval.tail_mass;
+  check_q "estimate exact on the full table" (q 5 8) r.Approx_eval.estimate;
+  Alcotest.(check bool) "bounds collapse to the estimate" true
+    (Interval.width r.Approx_eval.bounds < 1e-9)
+
 let test_approx_marginals () =
   let s = geo_source () in
   let ms = Approx_eval.marginals s ~eps:0.05 (parse "R(x)") in
@@ -617,6 +675,8 @@ let () =
           Alcotest.test_case "prefix_for_tail" `Quick test_source_prefix_for_tail;
           Alcotest.test_case "append/interleave/map" `Quick
             test_source_append_interleave_map;
+          Alcotest.test_case "deep certificate" `Quick
+            test_source_deep_certificate;
         ] );
       ( "countable_ti",
         [
@@ -663,6 +723,8 @@ let () =
           Alcotest.test_case "eps validation" `Quick test_approx_eps_validation;
           Alcotest.test_case "divergent rejected" `Quick
             test_approx_divergent_rejected;
+          Alcotest.test_case "exhausted tail is exact zero" `Quick
+            test_approx_exhausted_tail_exact_zero;
           Alcotest.test_case "marginals" `Quick test_approx_marginals;
           Alcotest.test_case "prop 6.2 witness" `Quick test_prop62_witness_shape;
         ] );

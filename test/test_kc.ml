@@ -105,6 +105,24 @@ let test_bdd_sat_count () =
     (Invalid_argument "Bdd.sat_count: over must contain the support")
     (fun () -> ignore (Bdd.sat_count d ~over:[ 0; 1 ]))
 
+let test_bdd_sat_count_shared_dag () =
+  (* Regression: counting used to walk the BDD as a tree, re-expanding
+     shared subgraphs — exponential on this parity chain (2^40 visits).
+     With memoization it is linear in the DAG size. *)
+  let m = Bdd.manager () in
+  let nvars = 40 in
+  let d =
+    List.fold_left
+      (fun acc v -> Bdd.xor m acc (Bdd.var m v))
+      (Bdd.fls m)
+      (List.init nvars Fun.id)
+  in
+  Alcotest.(check int) "parity dag is linear" ((2 * nvars) - 1) (Bdd.size d);
+  (* odd parity holds on exactly half of the 2^40 assignments *)
+  Alcotest.(check string) "2^39 models"
+    (Bigint.to_string (Bigint.shift_left Bigint.one 39))
+    (Bigint.to_string (Bdd.sat_count d ~over:(List.init nvars Fun.id)))
+
 let test_bdd_any_sat () =
   let m = Bdd.manager () in
   let e = E.and2 x0 (E.neg x1) in
@@ -282,6 +300,8 @@ let () =
           Alcotest.test_case "eval agrees" `Quick test_bdd_eval_agrees_with_expr;
           Alcotest.test_case "support/size" `Quick test_bdd_support_size;
           Alcotest.test_case "sat_count" `Quick test_bdd_sat_count;
+          Alcotest.test_case "sat_count shared dag" `Quick
+            test_bdd_sat_count_shared_dag;
           Alcotest.test_case "any_sat" `Quick test_bdd_any_sat;
           Alcotest.test_case "restrict" `Quick test_bdd_restrict;
           Alcotest.test_case "ite/xor" `Quick test_bdd_ite_xor;

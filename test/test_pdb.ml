@@ -89,6 +89,39 @@ let test_ti_text_format () =
   let ti'' = Ti_table.of_lines [ "# comment"; ""; "R(1) 0.25" ] in
   check_q "decimal prob" (q 1 4) (Ti_table.prob ti'' (fact "R" [ 1 ]))
 
+let test_ti_of_file () =
+  let path = Filename.temp_file "iowpdb" ".ti" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc (Ti_table.to_string ti);
+  close_out oc;
+  let ti' = Ti_table.of_file path in
+  Alcotest.(check int) "roundtrip size" (Ti_table.size ti) (Ti_table.size ti');
+  List.iter
+    (fun (f, p) -> check_q (Fact.to_string f) p (Ti_table.prob ti' f))
+    (Ti_table.facts ti)
+
+let test_ti_of_file_no_leak () =
+  (* Regression: a malformed table used to leave the input channel open;
+     repeated failing loads exhausted the fd table. *)
+  let bad = Filename.temp_file "iowpdb" ".ti" in
+  Fun.protect ~finally:(fun () -> Sys.remove bad) @@ fun () ->
+  let oc = open_out bad in
+  output_string oc "R(1) not-a-probability\n";
+  close_out oc;
+  let fd_count () =
+    if Sys.file_exists "/proc/self/fd" then
+      Some (Array.length (Sys.readdir "/proc/self/fd"))
+    else None
+  in
+  let before = fd_count () in
+  for _ = 1 to 64 do
+    match Ti_table.of_file bad with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "malformed table must be rejected"
+  done;
+  Alcotest.(check (option int)) "no fd leak" before (fd_count ())
+
 (* ------------------------------------------------------------------ *)
 (* Bid_table *)
 (* ------------------------------------------------------------------ *)
@@ -380,6 +413,81 @@ let arb_ti =
 let arb_query =
   QCheck.oneofl (List.map parse queries_for_agreement)
 
+(* Random TI tables over R/1, S/1, T/2 with small domains and dyadic
+   probabilities, paired with random sentences of quantifier rank <= 2 —
+   a much wider net than the fixed query list above. *)
+let arb_ti3 =
+  let open QCheck.Gen in
+  let all_facts =
+    List.init 3 (fun k -> fact "R" [ k ])
+    @ List.init 3 (fun k -> fact "S" [ k ])
+    @ List.concat_map
+        (fun a -> List.init 3 (fun b -> fact "T" [ a; b ]))
+        [ 0; 1; 2 ]
+  in
+  let gen =
+    let* chosen = list_repeat 4 (oneofl all_facts) in
+    let chosen = List.sort_uniq Fact.compare chosen in
+    let* probs =
+      list_repeat (List.length chosen) (map (fun k -> q k 8) (int_range 1 7))
+    in
+    return (Ti_table.create (List.combine chosen probs))
+  in
+  QCheck.make ~print:Ti_table.to_string gen
+
+let arb_sentence =
+  let open QCheck.Gen in
+  let rels = [ ("R", 1); ("S", 1); ("T", 2) ] in
+  let term scope =
+    oneof
+      (map Fo.cint (int_range 0 2)
+       :: (if scope = [] then [] else [ map Fo.v (oneofl scope) ]))
+  in
+  let leaf scope =
+    frequency
+      [
+        ( 6,
+          let* rel, arity = oneofl rels in
+          let* ts = list_repeat arity (term scope) in
+          return (Fo.atom rel ts) );
+        (1, return Fo.True);
+        (1, return Fo.False);
+      ]
+  in
+  (* [quant] bounds the remaining quantifier budget, so every generated
+     sentence has quantifier rank <= 2; [scope] holds the bound variables
+     available to atoms. *)
+  let rec gen scope depth quant =
+    if depth = 0 then leaf scope
+    else
+      frequency
+        ([
+           (2, leaf scope);
+           (2, map (fun f -> Fo.Not f) (gen scope (depth - 1) quant));
+           ( 3,
+             map2
+               (fun a b -> Fo.And (a, b))
+               (gen scope (depth - 1) quant)
+               (gen scope (depth - 1) quant) );
+           ( 3,
+             map2
+               (fun a b -> Fo.Or (a, b))
+               (gen scope (depth - 1) quant)
+               (gen scope (depth - 1) quant) );
+         ]
+         @
+         if quant = 0 then []
+         else begin
+           let x = Printf.sprintf "v%d" quant in
+           let inner = gen (x :: scope) (depth - 1) (quant - 1) in
+           [
+             (4, map (fun f -> Fo.Exists (x, f)) inner);
+             (4, map (fun f -> Fo.Forall (x, f)) inner);
+           ]
+         end)
+  in
+  QCheck.make ~print:Fo.to_string (gen [] 4 2)
+
 let props =
   [
     QCheck.Test.make ~name:"worlds sum to 1" ~count:100 arb_ti (fun t ->
@@ -399,6 +507,16 @@ let props =
         match Query_eval.boolean_safe t phi with
         | None -> true
         | Some p -> Rational.equal p (Query_eval.boolean_enum t phi));
+    QCheck.Test.make ~name:"all engines agree on random rank<=2 sentences"
+      ~count:300
+      QCheck.(pair arb_ti3 arb_sentence)
+      (fun (t, phi) ->
+        let reference = Query_eval.boolean_enum t phi in
+        Rational.equal reference (Query_eval.boolean_bdd_rational t phi)
+        && (match Query_eval.boolean_safe t phi with
+            | None -> true
+            | Some p -> Rational.equal p reference)
+        && Rational.equal reference (Query_eval.boolean t phi));
     QCheck.Test.make ~name:"finite pdb roundtrip preserves marginals"
       ~count:100 arb_ti (fun t ->
         let d = Finite_pdb.of_ti t in
@@ -431,6 +549,8 @@ let () =
             test_ti_marginal_consistency;
           Alcotest.test_case "sampling" `Slow test_ti_sampling_marginals;
           Alcotest.test_case "text format" `Quick test_ti_text_format;
+          Alcotest.test_case "of_file" `Quick test_ti_of_file;
+          Alcotest.test_case "of_file fd leak" `Quick test_ti_of_file_no_leak;
         ] );
       ( "bid_table",
         [
