@@ -10,7 +10,14 @@
 
    Run everything:        dune exec bench/main.exe
    One experiment:        dune exec bench/main.exe -- --only E1
-   Skip wall-clock part:  dune exec bench/main.exe -- --no-timing *)
+   Skip wall-clock part:  dune exec bench/main.exe -- --no-timing
+   CI smoke run:          dune exec bench/main.exe -- --smoke
+                          (fast subset, reduced sample counts, no timing) *)
+
+(* Set by --smoke before any experiment runs; heavy experiments consult it
+   to shrink their sample counts so the whole smoke run stays in CI-scale
+   seconds. *)
+let smoke = ref false
 
 let i n = Value.Int n
 let q = Rational.of_ints
@@ -688,6 +695,79 @@ let e16 () =
     sources
 
 (* ------------------------------------------------------------------ *)
+(* E17 - domain-parallel Monte-Carlo engine                            *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  header "E17"
+    "Mc_eval: domain scaling, bit-identity, and cross-engine agreement";
+  let samples = if !smoke then 20_000 else 200_000 in
+  let space = Mc_eval.Ti (Countable_ti.create (geo_source ())) in
+  let phi = parse "exists x. R(x)" in
+  (* 1. Throughput vs domain count.  Speedup is bounded by physical
+     cores (a 1-core container shows ~1x); the statistical result must
+     not move at all: batch b draws from substream(seed, b) into its own
+     slot regardless of which domain claims it. *)
+  row "  host: %d recommended domains; workload: %d worlds of %s\n"
+    (Domain.recommended_domain_count ())
+    samples "exists x. R(x) on geometric(1/2,1/2)";
+  let time_run d =
+    let t0 = Unix.gettimeofday () in
+    let r = Mc_eval.boolean ~domains:d ~seed:17 ~samples space phi in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let base, base_t = time_run 1 in
+  row "  %-8s %-10s %-9s %-12s %s\n" "domains" "seconds" "speedup" "estimate"
+    "bit-identical to 1-domain run";
+  row "  %-8d %-10.3f %-9s %-12.6f %s\n" 1 base_t "1.00" base.Mc_eval.estimate
+    "-";
+  List.iter
+    (fun d ->
+      let r, t = time_run d in
+      let same =
+        r.Mc_eval.hits = base.Mc_eval.hits
+        && Interval.equal r.Mc_eval.bounds base.Mc_eval.bounds
+        && Interval.equal r.Mc_eval.wilson base.Mc_eval.wilson
+        && r.Mc_eval.width_trajectory = base.Mc_eval.width_trajectory
+      in
+      row "  %-8d %-10.3f %-9.2f %-12.6f %b\n" d t (base_t /. t)
+        r.Mc_eval.estimate same)
+    [ 2; 4 ];
+  (* 2. Agreement with the exact engines on the E1 / E16 workloads: the
+     99% MC interval must contain the truncation engine's estimate and
+     intersect the anytime session's certified enclosure. *)
+  row "\n  %-42s %-22s %-10s %s\n" "query (99% MC interval)" "interval"
+    "has exact" "meets anytime";
+  List.iter
+    (fun qtext ->
+      let phi = parse qtext in
+      let mc =
+        Mc_eval.boolean ~seed:18 ~samples ~confidence:0.99 space phi
+      in
+      let exact =
+        Rational.to_float
+          (Approx_eval.boolean (geo_source ()) ~eps:0.001 phi)
+            .Approx_eval.estimate
+      in
+      let sess = Anytime.create ~eps:0.001 (geo_source ()) phi in
+      ignore (Anytime.run sess);
+      let anytime_bounds =
+        match Anytime.last_step sess with
+        | Some s -> s.Anytime.bounds
+        | None -> Interval.make 0.0 1.0
+      in
+      row "  %-42s [%.6f, %.6f]   %-10b %b\n" qtext
+        (Interval.lo mc.Mc_eval.bounds)
+        (Interval.hi mc.Mc_eval.bounds)
+        (Interval.contains mc.Mc_eval.bounds exact)
+        (Interval.intersect mc.Mc_eval.bounds anytime_bounds <> None))
+    [
+      "exists x. R(x)";
+      "forall x. R(x) -> (exists y. R(y) & x = y)";
+      "(exists x. R(x)) & !(forall y. R(y))";
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -695,20 +775,25 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
+(* The CI smoke subset: one experiment per engine family, each cheap at
+   the reduced sample counts the [smoke] flag selects. *)
+let smoke_ids = [ "E1"; "E3"; "E8"; "E17" ]
+
 let () =
   let args = Array.to_list Sys.argv in
+  smoke := List.mem "--smoke" args;
   let only =
     match List.find_index (fun a -> a = "--only") args with
     | Some idx when idx + 1 < List.length args ->
       Some (String.split_on_char ',' (List.nth args (idx + 1)))
-    | _ -> None
+    | _ -> if !smoke then Some smoke_ids else None
   in
-  let no_timing = List.mem "--no-timing" args in
+  let no_timing = !smoke || List.mem "--no-timing" args in
   let wanted id =
     match only with None -> true | Some ids -> List.mem id ids
   in

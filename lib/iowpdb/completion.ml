@@ -92,10 +92,14 @@ let omega_prob_bounds t ~n =
 
 (* Shared core of the approximate query functions: truncation point for
    the budget, then exact probability of a sentence on the truncated
-   completion via one BDD and per-original-world weighted model counts. *)
+   completion via one BDD and per-original-world weighted model counts.
+   Returns the certified tail value observed during the search alongside
+   [n]: certificates may answer each depth only once (mutable scan
+   state), so re-asking afterwards is not an option — the same leak
+   [Approx_eval.boolean] plugs. *)
 let truncation_for t ~eps =
-  match Fact_source.prefix_for_tail t.news (2.0 /. 3.0 *. log1p eps) with
-  | Some n -> n
+  match Fact_source.truncation t.news (Approx_eval.required_tail eps) with
+  | Some nt -> nt
   | None -> invalid_arg "Completion: tail does not certify eps"
 
 let sentence_prob_truncated t ~n phi =
@@ -141,7 +145,7 @@ let evaluation_domain_truncated t ~n phi =
   Fo_eval.evaluation_domain (Instance.of_list facts) phi []
 
 let marginals t ~eps phi =
-  let n = truncation_for t ~eps in
+  let n, _ = truncation_for t ~eps in
   let fvs = Fo.free_vars phi in
   let k = List.length fvs in
   if k = 0 then invalid_arg "Completion.marginals: sentence has no free variables"
@@ -181,26 +185,25 @@ let query_prob t ~eps phi =
 
      This keeps the cost at (#original worlds) x |BDD| instead of the
      2^n explicit product. *)
-  let n = truncation_for t ~eps in
+  let n, tail = truncation_for t ~eps in
   let p = sentence_prob_truncated t ~n phi in
-  let tail = Option.value (Fact_source.tail_mass t.news n) ~default:nan in
-  let om_n =
+  (* One re-ask, threading the searched value as the fallback: a
+     certificate that can still answer may sharpen the bound (exactly 0
+     once the enumeration is exhausted at n), one that cannot no longer
+     defaults the record to nan. *)
+  let tail =
     match Fact_source.tail_mass t.news n with
-    | Some tl when tl < 0.5 -> Interval.make (exp (-1.5 *. tl)) 1.0
-    | _ -> Interval.make 0.0 1.0
+    | Some tl -> Float.min tl tail
+    | None -> tail
   in
-  let pf = Prob.Interval_carrier.of_rational p in
-  let lower = Interval.mul pf om_n in
+  let om_n = Approx_eval.omega_bounds_of_tail tail in
   {
     Approx_eval.estimate = p;
     eps;
     n_used = n;
     tail_mass = tail;
     omega_n_bounds = om_n;
-    bounds =
-      Interval.clamp01
-        (Interval.make (Interval.lo lower)
-           (Interval.hi (Interval.add lower (Interval.compl om_n))));
+    bounds = Approx_eval.enclosure p om_n;
   }
 
 let complete_countable_ti cti news =

@@ -49,6 +49,11 @@ val marginal : t -> Fact.t -> Rational.t option
 (** Scan the first blocks / alternatives for the fact (bounded scan);
     [None] = not found. *)
 
+val tail_mass : t -> int -> float option
+(** Certified upper bound on [sum_{i>=n} mass(B_i)] (exactly 0 once the
+    block enumeration is exhausted before [n]); [None] when the
+    certificate cannot answer at [n]. *)
+
 val expected_size_bounds : t -> n:int -> float * float
 (** From the first [n] blocks' exact masses plus the tail bound. *)
 

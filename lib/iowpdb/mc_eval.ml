@@ -1,0 +1,434 @@
+(* Domain-parallel Monte-Carlo estimation.
+
+   Two-layer design:
+
+   - [compile] turns a space into an immutable sampling plan: float
+     arrays only, no closures over the mutable enumeration caches of
+     [Countable_ti] / [Fact_source] / [Countable_bid].  All enumeration
+     (and all Rational arithmetic) happens here, in the calling domain;
+     worker domains touch nothing but immutable plan data, [Prng] states
+     they own, and the pure evaluators ([Fo_eval], [Instance]).
+
+   - [estimate_event] cuts the samples into fixed batches and hands
+     batches to domains through an atomic work-stealing counter.  Batch
+     [b] draws from [Prng.substream root b] and writes its hit count
+     into slot [b] of a shared int array (each slot written by exactly
+     one domain, whichever claimed the batch), so the tally — and hence
+     every statistical field of the result — is a function of
+     [(seed, samples, batch_size)] alone, bit-identical across domain
+     counts and scheduling orders.
+
+   Soundness of the reported interval: the plan samples the truncated
+   law, which is within [tv] (the certified tail at the cut, plus any
+   in-block alternatives dropped for BID) of the true law in total
+   variation, so |P_plan(E) - P_true(E)| <= tv for every event.  The
+   Wilson interval covers P_plan(E) with the stated confidence; widening
+   it by [tv] covers P_true(E). *)
+
+type space =
+  | Ti of Countable_ti.t
+  | Bid of Countable_bid.t
+  | Completed of Completion.t
+
+type result = {
+  estimate : float;
+  hits : int;
+  samples : int;
+  confidence : float;
+  truncation_tv : float;
+  wilson : Interval.t;
+  bounds : Interval.t;
+  domains_used : int;
+  batches : int;
+  batch_size : int;
+  width_trajectory : (int * float) list;
+}
+
+let c_runs = Stats.counter "mc.runs"
+let c_worlds = Stats.counter "mc.worlds"
+let c_hits = Stats.counter "mc.hits"
+let c_batches = Stats.counter "mc.batches"
+let t_run = Stats.timer "mc.run"
+let t_batch = Stats.timer "mc.batch"
+
+(* ------------------------------------------------------------------ *)
+(* Statistical primitives                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Acklam's rational approximation to the standard normal quantile;
+   relative error below 1.15e-9 over (0,1) — far inside the slack any
+   Monte-Carlo interval carries. *)
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then invalid_arg "Mc_eval.normal_quantile";
+  let a1 = -3.969683028665376e+01 and a2 = 2.209460984245205e+02 in
+  let a3 = -2.759285104469687e+02 and a4 = 1.383577518672690e+02 in
+  let a5 = -3.066479806614716e+01 and a6 = 2.506628277459239e+00 in
+  let b1 = -5.447609879822406e+01 and b2 = 1.615858368580409e+02 in
+  let b3 = -1.556989798598866e+02 and b4 = 6.680131188771972e+01 in
+  let b5 = -1.328068155288572e+01 in
+  let c1 = -7.784894002430293e-03 and c2 = -3.223964580411365e-01 in
+  let c3 = -2.400758277161838e+00 and c4 = -2.549732539343734e+00 in
+  let c5 = 4.374664141464968e+00 and c6 = 2.938163982698783e+00 in
+  let d1 = 7.784695709041462e-03 and d2 = 3.224671290700398e-01 in
+  let d3 = 2.445134137142996e+00 and d4 = 3.754408661907416e+00 in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    (((((c1 *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6)
+    /. ((((d1 *. q +. d2) *. q +. d3) *. q +. d4) *. q +. 1.0)
+  else if p <= 1.0 -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a1 *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5) *. r +. a6)
+    *. q
+    /. (((((b1 *. r +. b2) *. r +. b3) *. r +. b4) *. r +. b5) *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c1 *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6)
+       /. ((((d1 *. q +. d2) *. q +. d3) *. q +. d4) *. q +. 1.0))
+
+let z_of_confidence c =
+  if not (c > 0.0 && c < 1.0) then
+    invalid_arg "Mc_eval: confidence must lie in (0, 1)";
+  normal_quantile (1.0 -. ((1.0 -. c) /. 2.0))
+
+let wilson_interval ~z ~hits ~samples =
+  if samples <= 0 then invalid_arg "Mc_eval.wilson_interval: samples <= 0";
+  if hits < 0 || hits > samples then
+    invalid_arg "Mc_eval.wilson_interval: hits outside [0, samples]";
+  let n = float_of_int samples in
+  let ph = float_of_int hits /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (ph +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt (((ph *. (1.0 -. ph)) +. (z2 /. (4.0 *. n))) /. n)
+  in
+  Interval.clamp01 (Interval.make (centre -. half) (centre +. half))
+
+let widen_by_tv iv tv =
+  if tv <= 0.0 then iv
+  else
+    Interval.clamp01
+      (Interval.make (Interval.lo iv -. tv) (Interval.hi iv +. tv))
+
+(* ------------------------------------------------------------------ *)
+(* The generic batched, work-stealing estimator                       *)
+(* ------------------------------------------------------------------ *)
+
+let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
+    ?(truncation_tv = 0.0) ~seed ~samples sampler pred =
+  if samples <= 0 then invalid_arg "Mc_eval: samples must be positive";
+  if batch_size <= 0 then invalid_arg "Mc_eval: batch_size must be positive";
+  if not (truncation_tv >= 0.0) then
+    invalid_arg "Mc_eval: truncation_tv must be nonnegative";
+  let z = z_of_confidence confidence in
+  let nbatches = (samples + batch_size - 1) / batch_size in
+  let domains =
+    let d =
+      match domains with
+      | Some d ->
+        if d < 1 then invalid_arg "Mc_eval: domains must be at least 1" else d
+      | None -> Domain.recommended_domain_count ()
+    in
+    Stdlib.min d nbatches
+  in
+  let t0 = Unix.gettimeofday () in
+  let root = Prng.create ~seed () in
+  let hits_by_batch = Array.make nbatches 0 in
+  let run_batch b =
+    (* A pure function of (seed, b): its own substream, its own slot. *)
+    let g = Prng.substream root b in
+    let first = b * batch_size in
+    let count = Stdlib.min batch_size (samples - first) in
+    let h = ref 0 in
+    for _ = 1 to count do
+      if pred (sampler g) then incr h
+    done;
+    hits_by_batch.(b) <- !h;
+    count
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    (* Instrumentation stays worker-local until after the join: the
+       Stats registry is not thread-safe. *)
+    let worlds = ref 0 and batches = ref 0 and secs = ref 0.0 in
+    let rec loop () =
+      let b = Atomic.fetch_and_add next 1 in
+      if b < nbatches then begin
+        let start = Unix.gettimeofday () in
+        worlds := !worlds + run_batch b;
+        secs := !secs +. (Unix.gettimeofday () -. start);
+        incr batches;
+        loop ()
+      end
+    in
+    loop ();
+    (!worlds, !batches, !secs)
+  in
+  let per_domain =
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    let mine = worker () in
+    mine :: List.map Domain.join spawned
+  in
+  let hits = Array.fold_left ( + ) 0 hits_by_batch in
+  let width_trajectory =
+    let points = Stdlib.min nbatches 24 in
+    let checkpoints =
+      List.sort_uniq compare
+        (List.init points (fun k -> ((k + 1) * nbatches / points) - 1))
+    in
+    let prefix_hits = Array.make nbatches 0 in
+    let acc = ref 0 in
+    Array.iteri
+      (fun i h ->
+        acc := !acc + h;
+        prefix_hits.(i) <- !acc)
+      hits_by_batch;
+    List.map
+      (fun b ->
+        let s = Stdlib.min samples ((b + 1) * batch_size) in
+        let iv =
+          widen_by_tv (wilson_interval ~z ~hits:prefix_hits.(b) ~samples:s)
+            truncation_tv
+        in
+        (s, Interval.width iv))
+      checkpoints
+  in
+  Stats.incr c_runs;
+  Stats.add c_worlds samples;
+  Stats.add c_hits hits;
+  Stats.add c_batches nbatches;
+  List.iteri
+    (fun i (w, bt, s) ->
+      Stats.add (Stats.counter (Printf.sprintf "mc.domain%d.worlds" i)) w;
+      Stats.add (Stats.counter (Printf.sprintf "mc.domain%d.batches" i)) bt;
+      Stats.add_elapsed t_batch (Float.max 0.0 s))
+    per_domain;
+  Stats.add_elapsed t_run (Float.max 0.0 (Unix.gettimeofday () -. t0));
+  let wilson = wilson_interval ~z ~hits ~samples in
+  {
+    estimate = float_of_int hits /. float_of_int samples;
+    hits;
+    samples;
+    confidence;
+    truncation_tv;
+    wilson;
+    bounds = widen_by_tv wilson truncation_tv;
+    domains_used = domains;
+    batches = nbatches;
+    batch_size;
+    width_trajectory;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sampling plans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  draw : Prng.t -> Instance.t;
+  tv : float;  (* TV distance bound between plan law and true law *)
+  support : Fact.t list;  (* every fact the plan can emit *)
+}
+
+let ti_entries ~tail_cut ~max_facts src =
+  let n, tv =
+    match Fact_source.truncation ~max_n:max_facts src tail_cut with
+    | Some nt -> nt
+    | None -> (
+        match Fact_source.tail_mass src max_facts with
+        | Some t -> (max_facts, t)
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Mc_eval: %s certifies no tail at or below %d facts; raise \
+                ~max_facts or loosen ~tail_cut"
+               (Fact_source.name src) max_facts))
+  in
+  let entries =
+    Array.of_list
+      (List.map
+         (fun (f, p) -> (f, Rational.to_float p))
+         (Fact_source.prefix src n))
+  in
+  (entries, tv)
+
+let draw_ti entries g =
+  Array.fold_left
+    (fun acc (f, p) -> if Prng.bernoulli g p then Instance.add f acc else acc)
+    Instance.empty entries
+
+let ti_plan ~tail_cut ~max_facts src =
+  let entries, tv = ti_entries ~tail_cut ~max_facts src in
+  {
+    draw = draw_ti entries;
+    tv;
+    support = Array.to_list (Array.map fst entries);
+  }
+
+(* BID: truncate the block enumeration at a certified block-mass tail and
+   each block's alternatives the way [Countable_bid.sample] does (keep
+   until the remaining in-block mass is below the cut).  A sampled world
+   differs from a true draw only if some dropped block fires or a kept
+   block's true draw lands in its dropped alternatives, so
+   tv <= block tail + sum of dropped in-block masses. *)
+let bid_plan ~tail_cut ~max_blocks bid =
+  let keep_alts mass alts =
+    let rec take acc m = function
+      | [] -> (acc, m)
+      | (f, p) :: rest ->
+        let pf = Rational.to_float p in
+        let acc = (f, pf) :: acc and m = m +. pf in
+        if mass -. m <= tail_cut then (acc, m) else take acc m rest
+    in
+    take [] 0.0 alts
+  in
+  let rec scan i blocks_rev dropped =
+    let finish tail = (List.rev blocks_rev, dropped +. tail) in
+    if i >= max_blocks then begin
+      match Countable_bid.tail_mass bid i with
+      | Some tail -> finish tail
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Mc_eval: %s certifies no block tail at or below %d blocks; \
+              raise ~max_facts or loosen ~tail_cut"
+             (Countable_bid.name bid) max_blocks)
+    end
+    else
+      match Countable_bid.tail_mass bid i with
+      | Some tail when tail <= tail_cut -> finish tail
+      | _ -> (
+          match Countable_bid.nth_block bid i with
+          | None -> finish 0.0
+          | Some b ->
+            let mass = Rational.to_float (Countable_bid.block_mass b) in
+            let alts = Countable_bid.alternatives ~limit:4096 b in
+            let kept_rev, kept_mass = keep_alts mass alts in
+            let kept = List.rev kept_rev in
+            let block =
+              ( Array.of_list (List.map fst kept),
+                Array.of_list (List.map snd kept) )
+            in
+            scan (i + 1) (block :: blocks_rev)
+              (dropped +. Float.max 0.0 (mass -. kept_mass)))
+  in
+  let blocks, tv = scan 0 [] 0.0 in
+  let blocks = Array.of_list blocks in
+  let draw g =
+    Array.fold_left
+      (fun acc (facts, probs) ->
+        (* Sequential inversion over the kept alternatives; the dropped
+           mass collapses into "no fact from this block". *)
+        let u = ref (Prng.float g) in
+        let rec go j =
+          if j >= Array.length probs then acc
+          else if !u < probs.(j) then Instance.add facts.(j) acc
+          else begin
+            u := !u -. probs.(j);
+            go (j + 1)
+          end
+        in
+        go 0)
+      Instance.empty blocks
+  in
+  let support =
+    List.concat_map
+      (fun (facts, _) -> Array.to_list facts)
+      (Array.to_list blocks)
+  in
+  { draw; tv; support }
+
+(* Completion: one exact categorical draw over the finitely many original
+   worlds (the first factor of the independent product of Definition
+   5.1), one truncated-TI draw over the new facts.  Only the new-fact
+   factor is truncated, so its tail is the whole TV budget. *)
+let completion_plan ~tail_cut ~max_facts comp =
+  let orig = Completion.original comp in
+  let worlds = Array.of_list (Finite_pdb.worlds orig) in
+  if Array.length worlds = 0 then
+    invalid_arg "Mc_eval: completion with no original worlds";
+  let insts = Array.map fst worlds in
+  let cum = Array.make (Array.length worlds) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (_, p) ->
+      acc := !acc +. Rational.to_float p;
+      cum.(i) <- !acc)
+    worlds;
+  let news, tv = ti_entries ~tail_cut ~max_facts (Completion.new_facts comp) in
+  let pick_world u =
+    let lo = ref 0 and hi = ref (Array.length cum - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if u < cum.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let draw g =
+    let w = insts.(pick_world (Prng.float g)) in
+    Array.fold_left
+      (fun acc (f, p) -> if Prng.bernoulli g p then Instance.add f acc else acc)
+      w news
+  in
+  let support =
+    Finite_pdb.fact_universe orig @ Array.to_list (Array.map fst news)
+  in
+  { draw; tv; support }
+
+let compile ~tail_cut ~max_facts = function
+  | Ti cti -> ti_plan ~tail_cut ~max_facts (Countable_ti.source cti)
+  | Bid bid -> bid_plan ~tail_cut ~max_blocks:max_facts bid
+  | Completed comp -> completion_plan ~tail_cut ~max_facts comp
+
+(* ------------------------------------------------------------------ *)
+(* Query entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec has_cmp = function
+  | Fo.Cmp _ -> true
+  | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> false
+  | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) -> has_cmp f
+  | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) -> has_cmp a || has_cmp b
+
+module VSet = Set.Make (Value)
+
+(* The evaluation domain is fixed once per run: adom of the plan's full
+   support plus the query's constants, padded with [quantifier_rank phi]
+   fresh inert values so every sampled world contributes its limit truth
+   value (Proposition 6.1's r-equivalence argument, the same device as
+   [Anytime]).  [Cmp] breaks inert-value interchangeability; such queries
+   are evaluated unpadded, over the truncated-table semantics. *)
+let eval_domain_for support phi =
+  let base = Fo_eval.evaluation_domain (Instance.of_list support) phi [] in
+  if has_cmp phi then base
+  else begin
+    let avoid = VSet.of_list base in
+    let k = Fo.quantifier_rank phi in
+    let rec choose attempt =
+      let cand =
+        List.init k (fun i ->
+            Value.Str (Printf.sprintf "\x00pad.%d.%d" attempt i))
+      in
+      if List.exists (fun v -> VSet.mem v avoid) cand then choose (attempt + 1)
+      else cand
+    in
+    base @ choose 0
+  end
+
+let boolean ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
+    ?(max_facts = 4096) ?confidence ~seed ~samples space phi =
+  if Fo.free_vars phi <> [] then
+    invalid_arg "Mc_eval.boolean: query must be a sentence";
+  let plan = compile ~tail_cut ~max_facts space in
+  let extra_domain = eval_domain_for plan.support phi in
+  estimate_event ?domains ?batch_size ?confidence ~truncation_tv:plan.tv ~seed
+    ~samples plan.draw
+    (fun w -> Fo_eval.models ~extra_domain w phi)
+
+let marginal ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
+    ?(max_facts = 4096) ?confidence ~seed ~samples space f =
+  let plan = compile ~tail_cut ~max_facts space in
+  estimate_event ?domains ?batch_size ?confidence ~truncation_tv:plan.tv ~seed
+    ~samples plan.draw
+    (fun w -> Instance.mem f w)

@@ -1,0 +1,122 @@
+(** Domain-parallel Monte-Carlo estimation over countable TI / BID PDBs
+    and completions — the third evaluation engine, beside the exact
+    truncation engine ({!Approx_eval}) and the incremental one
+    ({!Anytime}).
+
+    The paper gives countable PDBs a sampling semantics
+    ({!Countable_ti.sample}, {!Countable_bid.sample}, Section 4); this
+    module turns it into an estimator with statistical guarantees:
+
+    - the space is compiled once into an {e immutable sampling plan}
+      (prefix facts with float marginals, truncated block tables, the
+      original-world cumulative distribution of a completion), so worker
+      domains share no mutable state;
+    - the requested samples are cut into fixed-size batches; batch [b]
+      runs on [Prng.substream root b], so every batch is a function of
+      [(seed, b)] alone and the estimate is {e bit-identical for every
+      domain count} — parallelism changes only who executes a batch,
+      never what it draws;
+    - batches are distributed over OCaml 5 domains through an atomic
+      work-stealing counter; per-domain counters (worlds drawn, batch
+      latency) are accumulated locally and merged into {!Stats} after the
+      join;
+    - the returned {!Interval.t} is a Wilson score interval at the
+      requested confidence, {e widened by the truncation total-variation
+      bound}: the plan samples a law within [tv] of the true one (the
+      tail cut of the sampling plans), so the widened interval covers the
+      true [P(Q)] with the stated confidence.
+
+    Boolean queries are evaluated per world over the plan's full active
+    domain padded with [quantifier_rank phi] fresh inert values — the
+    r-equivalence argument of Proposition 6.1 (same device as {!Anytime})
+    — so every sampled world contributes its {e limit} truth value and
+    the estimates are directly comparable (and intersectable) with the
+    exact engines' enclosures.  Queries using the built-in order [Cmp]
+    break inert-value interchangeability; for them the padding is omitted
+    and the estimate targets the truncated-table semantics. *)
+
+type space =
+  | Ti of Countable_ti.t
+  | Bid of Countable_bid.t
+  | Completed of Completion.t
+
+type result = {
+  estimate : float;  (** [hits / samples] *)
+  hits : int;
+  samples : int;
+  confidence : float;  (** two-sided coverage level of [bounds] *)
+  truncation_tv : float;
+      (** certified total-variation distance between the sampled
+          (truncated-plan) law and the true law; folded into [bounds] *)
+  wilson : Interval.t;
+      (** the Wilson score interval for the sampled law alone *)
+  bounds : Interval.t;
+      (** [wilson] widened by [truncation_tv] on each side and clamped to
+          [\[0,1\]]: covers the true probability with probability at
+          least [confidence] *)
+  domains_used : int;
+  batches : int;
+  batch_size : int;
+  width_trajectory : (int * float) list;
+      (** [(samples-so-far, width of bounds)] at up to 24 batch
+          boundaries, in batch order — the convergence trajectory *)
+}
+
+val boolean :
+  ?domains:int ->
+  ?batch_size:int ->
+  ?tail_cut:float ->
+  ?max_facts:int ->
+  ?confidence:float ->
+  seed:int ->
+  samples:int ->
+  space ->
+  Fo.t ->
+  result
+(** Estimate [P(Q)] for a Boolean query.  Defaults: [domains] =
+    [Domain.recommended_domain_count ()], [batch_size = 1024],
+    [tail_cut = 2^-20], [max_facts = 4096] (per plan: prefix facts,
+    blocks, or new facts of a completion), [confidence = 0.99].
+    @raise Invalid_argument if the query has free variables, [samples <=
+    0], [confidence] outside [(0,1)], or no truncation below [max_facts]
+    certifies [tail_cut] (raise [max_facts] or loosen [tail_cut]). *)
+
+val marginal :
+  ?domains:int ->
+  ?batch_size:int ->
+  ?tail_cut:float ->
+  ?max_facts:int ->
+  ?confidence:float ->
+  seed:int ->
+  samples:int ->
+  space ->
+  Fact.t ->
+  result
+(** Estimate the marginal [P(E_f)] of one fact. *)
+
+val estimate_event :
+  ?domains:int ->
+  ?batch_size:int ->
+  ?confidence:float ->
+  ?truncation_tv:float ->
+  seed:int ->
+  samples:int ->
+  (Prng.t -> 'a) ->
+  ('a -> bool) ->
+  result
+(** The generic engine: estimate [P(event)] under a caller-supplied
+    sampler.  The sampler runs concurrently in several domains and MUST
+    NOT touch shared mutable state (the space-specific entry points
+    compile such state away; a raw {!Countable_ti.sample} closure, which
+    memoizes, is {e not} safe here at [domains > 1]).  [truncation_tv]
+    (default 0) is folded into [bounds] like the plan-based entry
+    points do. *)
+
+(** {1 Statistical primitives} (exposed for tests and the bench) *)
+
+val z_of_confidence : float -> float
+(** Two-sided standard-normal critical value: [Phi^-1(1 - (1-c)/2)].
+    @raise Invalid_argument outside [(0,1)]. *)
+
+val wilson_interval : z:float -> hits:int -> samples:int -> Interval.t
+(** The Wilson score interval, clamped to [\[0,1\]]. *)

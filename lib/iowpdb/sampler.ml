@@ -1,6 +1,11 @@
+(* Each draw runs on its own substream of the seed generator, so draw [i]
+   is a function of [(seed, i)] alone: re-traversing the sequence (Seq is
+   not memoized) or consuming it out of order replays identical worlds.
+   The previous version threaded ONE mutable generator through Seq.init,
+   so a second traversal silently continued the stream. *)
 let draws ~seed ~samples sampler =
-  let g = Prng.create ~seed () in
-  Seq.init samples (fun _ -> sampler g)
+  let base = Prng.create ~seed () in
+  Seq.init samples (fun i -> sampler (Prng.substream base i))
 
 let estimate_event ~seed ~samples sampler event =
   let hits =

@@ -5,6 +5,13 @@
     from repeated draws of a sampler (typically {!Countable_ti.sample} or
     {!Countable_bid.sample} with split generators). *)
 
+val draws :
+  seed:int -> samples:int -> (Prng.t -> 'a) -> 'a Seq.t
+(** [samples] draws, the [i]-th running on [Prng.substream] [i] of the
+    seed generator: draw [i] is a function of [(seed, i)] alone, so the
+    (non-memoizing) sequence yields identical values on every traversal
+    and in any traversal order. *)
+
 val estimate_event :
   seed:int -> samples:int -> (Prng.t -> Instance.t) -> (Instance.t -> bool) ->
   float

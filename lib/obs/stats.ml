@@ -41,6 +41,10 @@ let time t f =
     ~finally:(fun () -> t.seconds <- t.seconds +. (Unix.gettimeofday () -. start))
     f
 
+let add_elapsed t s =
+  if s < 0.0 || Float.is_nan s then invalid_arg "Stats.add_elapsed"
+  else t.seconds <- t.seconds +. s
+
 let elapsed t = t.seconds
 
 type snapshot = (string * float) list

@@ -33,6 +33,12 @@ val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk, adding its wall-clock duration to the timer.
     Exception-safe: the duration is recorded even if the thunk raises. *)
 
+val add_elapsed : timer -> float -> unit
+(** Credit a duration measured elsewhere (e.g. inside a worker domain,
+    whose locally accumulated time is merged into the process-global
+    registry after the join — the registry itself is not thread-safe).
+    @raise Invalid_argument on negative or nan durations. *)
+
 val elapsed : timer -> float
 (** Accumulated seconds. *)
 

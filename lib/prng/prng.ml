@@ -22,6 +22,23 @@ let split g =
   let s = next_int64 g in
   { state = mix64 s }
 
+let substream g i =
+  if i < 0 then invalid_arg "Prng.substream"
+  else
+    (* [split] advances the parent by one gamma step and double-mixes the
+       resulting state ([mix64] of [next_int64]'s already-mixed output);
+       jumping the parent i+1 gamma steps in one multiplication gives
+       exactly the generator the (i+1)-th successive [split] would return,
+       in O(1) and without advancing [g].  Distinct indices give
+       decorrelated streams for the same reason distinct splits do. *)
+    {
+      state =
+        mix64
+          (mix64
+             (Int64.add g.state
+                (Int64.mul (Int64.of_int (i + 1)) golden_gamma)));
+    }
+
 let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
 
 let int g n =

@@ -15,6 +15,15 @@ val copy : t -> t
 val split : t -> t
 (** A statistically independent generator; the original advances. *)
 
+val substream : t -> int -> t
+(** [substream g i] is the [i]-th child stream of [g]: the generator that
+    the [(i+1)]-th successive {!split} would return, derived in constant
+    time {e without} advancing [g].  Pure in both arguments, so
+    [substream g i] is a function of the index — the per-index /
+    per-batch generator used by {!Sampler} and the Monte-Carlo engine to
+    make draws reproducible and independent of traversal order or domain
+    count.  @raise Invalid_argument if [i < 0]. *)
+
 val next_int64 : t -> int64
 (** Uniform over all 2^64 bit patterns. *)
 

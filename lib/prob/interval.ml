@@ -28,9 +28,21 @@ let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
 let sub a b = { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
 let neg a = { lo = -.a.hi; hi = -.a.lo }
 
+(* The corner products/quotients can be nan on unbounded operands
+   (0 * inf, inf / inf); building the record directly would then bypass
+   [make]'s nan guard and poison every downstream min/max.  Each nan
+   corner is replaced by its sound set-based bound instead. *)
+
 let mul a b =
-  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
-  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  (* nan here is exactly 0 * ±inf.  Under set semantics the factor 0
+     annihilates (the IEEE-1788 convention), so 0 is the sound corner
+     value. *)
+  let corner x y =
+    let p = x *. y in
+    if Float.is_nan p then 0.0 else p
+  in
+  let p1 = corner a.lo b.lo and p2 = corner a.lo b.hi in
+  let p3 = corner a.hi b.lo and p4 = corner a.hi b.hi in
   {
     lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
     hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
@@ -39,11 +51,20 @@ let mul a b =
 let div a b =
   if b.lo <= 0.0 && b.hi >= 0.0 then raise Division_by_zero
   else begin
-    let p1 = a.lo /. b.lo and p2 = a.lo /. b.hi in
-    let p3 = a.hi /. b.lo and p4 = a.hi /. b.hi in
+    (* nan here is exactly ±inf / ±inf; ratios of large elements of the
+       two intervals realize every magnitude, so the sound corner bounds
+       are 0 and the signed infinity. *)
+    let corner x y acc =
+      let p = x /. y in
+      if Float.is_nan p then
+        let s = if (x > 0.0) = (y > 0.0) then infinity else neg_infinity in
+        0.0 :: s :: acc
+      else p :: acc
+    in
+    let cs = corner a.lo b.lo (corner a.lo b.hi (corner a.hi b.lo (corner a.hi b.hi []))) in
     {
-      lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
-      hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
+      lo = down (List.fold_left Float.min infinity cs);
+      hi = up (List.fold_left Float.max neg_infinity cs);
     }
   end
 

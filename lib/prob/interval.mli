@@ -25,10 +25,15 @@ val mid : t -> float
 
 val add : t -> t -> t
 val sub : t -> t -> t
+
 val mul : t -> t -> t
+(** Sound on unbounded operands: a [0 * ±inf] corner contributes [0]
+    (the set-based convention), never nan. *)
 
 val div : t -> t -> t
-(** @raise Division_by_zero if the divisor contains 0. *)
+(** @raise Division_by_zero if the divisor contains 0.  Sound on
+    unbounded operands: an [inf / inf] corner contributes its full
+    limit range [\[0, +inf\]] (with the corner's sign), never nan. *)
 
 val compl : t -> t
 (** [compl x] encloses [1 - x]. *)

@@ -266,6 +266,25 @@ let test_cti_sampled_independence () =
   in
   Alcotest.(check bool) "independence gap small" true (gap < 0.01)
 
+let test_sampler_draws_reproducible () =
+  (* Regression: [draws] used to thread one mutable generator through
+     [Seq.init], so a second traversal of the (non-memoizing) sequence
+     continued the stream and produced different values.  Each draw now
+     runs on its own substream of the seed. *)
+  let t = Countable_ti.create (geo_source ()) in
+  let seq =
+    Sampler.draws ~seed:31 ~samples:20 (fun g -> Countable_ti.sample t g)
+  in
+  let first = List.map Instance.to_string (List.of_seq seq) in
+  let second = List.map Instance.to_string (List.of_seq seq) in
+  Alcotest.(check (list string)) "two traversals identical" first second;
+  (* order-independence: element k alone equals element k of a full
+     traversal *)
+  let nth k = Instance.to_string (Option.get (Seq.uncons (Seq.drop k seq) |> Option.map fst)) in
+  Alcotest.(check string) "random access matches" (List.nth first 7) (nth 7);
+  Alcotest.(check bool) "draws differ across indices" true
+    (List.length (List.sort_uniq compare first) > 1)
+
 (* ------------------------------------------------------------------ *)
 (* Countable_bid (Section 4.4) *)
 (* ------------------------------------------------------------------ *)
@@ -433,6 +452,82 @@ let test_completion_marginals () =
   (match Completion.marginal c (Fact.make "R" [ Value.Str "D"; i 1 ]) with
    | Some p -> check_q "new fact" Rational.half p
    | None -> Alcotest.fail "new marginal expected")
+
+let test_completion_query_exhausted_certificate () =
+  (* Regression: [query_prob] searched the truncation point, threw the
+     certified tail value away, and re-asked the certificate afterwards;
+     with a certificate that cannot answer twice the record's [tail_mass]
+     came out nan, poisoning the certified bounds.  The value observed
+     during the search is now threaded through ([Approx_eval.boolean]'s
+     PR-1 fix, applied here). *)
+  let budget = Hashtbl.create 8 in
+  let news =
+    Fact_source.make ~name:"probe-once-news"
+      ~enum:
+        (Seq.map
+           (fun k -> (fact "N" [ k ], Rational.pow Rational.half (k + 1)))
+           (Seq.ints 0))
+      ~tail:(fun n ->
+        (* depths 0 and 1 answer freely (they feed [converges] during
+           [complete]); every deeper depth answers exactly once *)
+        if n <= 1 then Some (0.5 ** float_of_int n)
+        else if Hashtbl.mem budget n then None
+        else begin
+          Hashtbl.add budget n ();
+          Some (0.5 ** float_of_int n)
+        end)
+      ()
+  in
+  let c = Completion.complete_ti ex57_ti news in
+  let r = Completion.query_prob c ~eps:0.01 (parse "exists x. N(x)") in
+  Alcotest.(check bool) "tail_mass is a number" false
+    (Float.is_nan r.Approx_eval.tail_mass);
+  Alcotest.(check (float 0.0)) "tail is the value observed in the search"
+    (0.5 ** float_of_int r.Approx_eval.n_used)
+    r.Approx_eval.tail_mass;
+  Alcotest.(check bool) "bounds are finite and ordered" true
+    (Interval.width r.Approx_eval.bounds >= 0.0
+    && Interval.hi r.Approx_eval.bounds <= 1.0);
+  Alcotest.(check bool) "bounds enclose the truncated estimate" true
+    (Interval.contains r.Approx_eval.bounds
+       (Rational.to_float r.Approx_eval.estimate)
+    || Interval.hi r.Approx_eval.bounds
+       >= Rational.to_float r.Approx_eval.estimate)
+
+let test_completion_marginals_valuations () =
+  (* Two free variables: the valuation built internally is reversed and
+     zipped with the sorted free-variable list; a pairing mistake would
+     report the transposed tuple.  Hand-computable instance: original
+     R(1,10) at 1/2, one new fact R(2,20) at 1/4. *)
+  let ti = Ti_table.create [ (fact "R" [ 1; 10 ], q 1 2) ] in
+  let c =
+    Completion.complete_ti ti
+      (Fact_source.of_list [ (fact "R" [ 2; 20 ], q 1 4) ])
+  in
+  let ms = Completion.marginals c ~eps:0.01 (parse "R(x, y)") in
+  let show (tup, p) =
+    Printf.sprintf "%s:%s"
+      (String.concat ","
+         (List.map Value.to_string (Array.to_list tup)))
+      (Rational.to_string p)
+  in
+  Alcotest.(check (list string))
+    "tuples paired (x,y), sorted"
+    [ "1,10:1/2"; "2,20:1/4" ]
+    (List.map show ms)
+
+let test_completion_marginals_errors () =
+  let c = Completion.complete_ti ex57_ti (ex57_news ()) in
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Completion.marginals: sentence has no free variables")
+    (fun () ->
+      ignore (Completion.marginals c ~eps:0.1 (parse "exists x y. R(x, y)")));
+  Alcotest.check_raises "k > 3"
+    (Invalid_argument "Completion.marginals: more than 3 free variables")
+    (fun () ->
+      ignore
+        (Completion.marginals c ~eps:0.1
+           (parse "R(x, y) & R(z, w)")))
 
 let test_completion_rejects () =
   Alcotest.check_raises "prob 1 new fact"
@@ -693,6 +788,8 @@ let () =
           Alcotest.test_case "sampling" `Slow test_cti_sampling;
           Alcotest.test_case "sampled independence (Lemma 4.4)" `Slow
             test_cti_sampled_independence;
+          Alcotest.test_case "draws reproducible" `Quick
+            test_sampler_draws_reproducible;
         ] );
       ( "countable_bid",
         [
@@ -708,6 +805,12 @@ let () =
         [
           Alcotest.test_case "CC exact (Thm 5.5)" `Quick test_completion_cc_exact;
           Alcotest.test_case "marginals" `Quick test_completion_marginals;
+          Alcotest.test_case "query_prob survives exhausted certificate"
+            `Quick test_completion_query_exhausted_certificate;
+          Alcotest.test_case "marginals valuation pairing" `Quick
+            test_completion_marginals_valuations;
+          Alcotest.test_case "marginals arity errors" `Quick
+            test_completion_marginals_errors;
           Alcotest.test_case "rejections" `Quick test_completion_rejects;
           Alcotest.test_case "openpdb lambda" `Quick test_completion_openpdb;
           Alcotest.test_case "open vs closed world" `Quick

@@ -1,0 +1,318 @@
+(* Tests for the domain-parallel Monte-Carlo engine (Mc_eval):
+   determinism and bit-identity across domain counts, Wilson interval
+   sanity, and cross-engine agreement with the exact truncation engine
+   and the anytime evaluator. *)
+
+let i n = Value.Int n
+let q = Rational.of_ints
+let fact r args = Fact.make r (List.map i args)
+let parse = Fo_parse.parse_exn
+let r_fact k = fact "R" [ k ]
+
+let geo_source () =
+  Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
+    ~facts:r_fact ()
+
+let geo_space () = Mc_eval.Ti (Countable_ti.create (geo_source ()))
+
+(* ------------------------------------------------------------------ *)
+(* Statistical primitives *)
+(* ------------------------------------------------------------------ *)
+
+let test_z_of_confidence () =
+  let z95 = Mc_eval.z_of_confidence 0.95 in
+  Alcotest.(check bool) "z(0.95) ~ 1.95996" true (Float.abs (z95 -. 1.959964) < 1e-4);
+  let z99 = Mc_eval.z_of_confidence 0.99 in
+  Alcotest.(check bool) "z(0.99) ~ 2.57583" true (Float.abs (z99 -. 2.575829) < 1e-4);
+  Alcotest.(check bool) "monotone in confidence" true (z99 > z95);
+  Alcotest.check_raises "confidence 1"
+    (Invalid_argument "Mc_eval: confidence must lie in (0, 1)") (fun () ->
+      ignore (Mc_eval.z_of_confidence 1.0));
+  Alcotest.check_raises "confidence 0"
+    (Invalid_argument "Mc_eval: confidence must lie in (0, 1)") (fun () ->
+      ignore (Mc_eval.z_of_confidence 0.0))
+
+let test_wilson_interval () =
+  let z = Mc_eval.z_of_confidence 0.95 in
+  let iv = Mc_eval.wilson_interval ~z ~hits:50 ~samples:100 in
+  Alcotest.(check bool) "contains p-hat" true (Interval.contains iv 0.5);
+  Alcotest.(check bool) "width sane" true
+    (Interval.width iv > 0.1 && Interval.width iv < 0.3);
+  (* width shrinks with more samples at the same rate *)
+  let iv10 = Mc_eval.wilson_interval ~z ~hits:5000 ~samples:10_000 in
+  Alcotest.(check bool) "100x samples, ~10x narrower" true
+    (Interval.width iv10 < Interval.width iv /. 5.0);
+  (* extreme counts stay inside [0,1] and are nonempty *)
+  let iv0 = Mc_eval.wilson_interval ~z ~hits:0 ~samples:100 in
+  Alcotest.(check bool) "0 hits: lo = 0" true (Interval.lo iv0 = 0.0);
+  Alcotest.(check bool) "0 hits: hi > 0 (never degenerate)" true
+    (Interval.hi iv0 > 0.0);
+  let iv1 = Mc_eval.wilson_interval ~z ~hits:100 ~samples:100 in
+  Alcotest.(check bool) "all hits: hi = 1" true (Interval.hi iv1 = 1.0);
+  Alcotest.(check bool) "all hits: lo < 1" true (Interval.lo iv1 < 1.0);
+  Alcotest.check_raises "hits out of range"
+    (Invalid_argument "Mc_eval.wilson_interval: hits outside [0, samples]")
+    (fun () -> ignore (Mc_eval.wilson_interval ~z ~hits:101 ~samples:100));
+  (* higher confidence widens the interval *)
+  let wide =
+    Mc_eval.wilson_interval ~z:(Mc_eval.z_of_confidence 0.999) ~hits:50
+      ~samples:100
+  in
+  Alcotest.(check bool) "confidence monotone" true
+    (Interval.width wide > Interval.width iv)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and bit-identity *)
+(* ------------------------------------------------------------------ *)
+
+let test_bit_identity_across_domains () =
+  let phi = parse "exists x. R(x)" in
+  let space = geo_space () in
+  let run d =
+    Mc_eval.boolean ~domains:d ~seed:91 ~samples:5000 space phi
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      let r = run d in
+      Alcotest.(check int)
+        (Printf.sprintf "hits identical at %d domains" d)
+        base.Mc_eval.hits r.Mc_eval.hits;
+      Alcotest.(check bool)
+        (Printf.sprintf "bounds identical at %d domains" d)
+        true
+        (Interval.equal base.Mc_eval.bounds r.Mc_eval.bounds);
+      Alcotest.(check bool)
+        (Printf.sprintf "trajectory identical at %d domains" d)
+        true
+        (base.Mc_eval.width_trajectory = r.Mc_eval.width_trajectory))
+    [ 2; 4 ];
+  (* and the whole run is reproducible from the seed *)
+  let again = run 1 in
+  Alcotest.(check int) "same seed, same hits" base.Mc_eval.hits
+    again.Mc_eval.hits;
+  let other = Mc_eval.boolean ~domains:1 ~seed:92 ~samples:5000 space phi in
+  Alcotest.(check bool) "different seed, different worlds" true
+    (other.Mc_eval.hits <> base.Mc_eval.hits
+    || other.Mc_eval.estimate <> base.Mc_eval.estimate)
+
+let test_result_accounting () =
+  let r =
+    Mc_eval.boolean ~domains:2 ~batch_size:100 ~seed:5 ~samples:1050
+      (geo_space ())
+      (parse "exists x. R(x)")
+  in
+  Alcotest.(check int) "samples" 1050 r.Mc_eval.samples;
+  Alcotest.(check int) "batches = ceil(1050/100)" 11 r.Mc_eval.batches;
+  Alcotest.(check int) "batch size recorded" 100 r.Mc_eval.batch_size;
+  Alcotest.(check bool) "estimate = hits/samples" true
+    (r.Mc_eval.estimate
+    = float_of_int r.Mc_eval.hits /. float_of_int r.Mc_eval.samples);
+  Alcotest.(check bool) "trajectory ends at the last sample" true
+    (match List.rev r.Mc_eval.width_trajectory with
+    | (n, w) :: _ -> n = 1050 && w = Interval.width r.Mc_eval.bounds
+    | [] -> false);
+  Alcotest.(check bool) "trajectory widths nonincreasing-ish" true
+    (let ws = List.map snd r.Mc_eval.width_trajectory in
+     match (ws, List.rev ws) with
+     | first :: _, last :: _ -> last <= first
+     | _ -> false)
+
+let test_validation () =
+  let space = geo_space () in
+  let phi = parse "exists x. R(x)" in
+  Alcotest.check_raises "samples 0"
+    (Invalid_argument "Mc_eval: samples must be positive") (fun () ->
+      ignore (Mc_eval.boolean ~seed:1 ~samples:0 space phi));
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Mc_eval: domains must be at least 1") (fun () ->
+      ignore (Mc_eval.boolean ~domains:0 ~seed:1 ~samples:10 space phi));
+  Alcotest.check_raises "free variables"
+    (Invalid_argument "Mc_eval.boolean: query must be a sentence") (fun () ->
+      ignore (Mc_eval.boolean ~seed:1 ~samples:10 space (parse "R(x)")));
+  (* a source with no tail certificate at all is rejected... *)
+  Alcotest.(check bool) "uncertified source rejected" true
+    (match
+       Mc_eval.boolean ~max_facts:4 ~seed:1 ~samples:10
+         (Mc_eval.Ti
+            (Countable_ti.create
+               (Fact_source.divergent_harmonic ~scale:(q 1 2) ~facts:r_fact ())))
+         phi
+     with
+    | exception Invalid_argument _ -> true
+    | (_ : Mc_eval.result) -> false);
+  (* ...while a certified-but-heavy tail is absorbed into the TV budget
+     rather than rejected: telescoping certifies mass/(n+1) at every n. *)
+  let heavy =
+    Mc_eval.boolean ~max_facts:4 ~tail_cut:1e-9 ~seed:1 ~samples:100
+      (Mc_eval.Ti
+         (Countable_ti.create
+            (Fact_source.telescoping ~mass:Rational.one ~facts:r_fact ())))
+      phi
+  in
+  Alcotest.(check bool) "heavy tail folded into TV budget" true
+    (heavy.Mc_eval.truncation_tv >= 0.2
+    && Interval.width heavy.Mc_eval.bounds
+       > Interval.width heavy.Mc_eval.wilson)
+
+(* ------------------------------------------------------------------ *)
+(* Statistical correctness against the exact engines *)
+(* ------------------------------------------------------------------ *)
+
+(* E1/E16 workload queries; 99% intervals at 40k samples fail with
+   probability ~1% per query IF the estimator were merely unbiased —
+   with fixed seeds the outcome is deterministic, so these are
+   regression pins, not flaky statistics. *)
+let test_cross_engine_agreement () =
+  let space = geo_space () in
+  List.iter
+    (fun qtext ->
+      let phi = parse qtext in
+      let mc =
+        Mc_eval.boolean ~seed:18 ~samples:40_000 ~confidence:0.99 space phi
+      in
+      let exact = Approx_eval.boolean (geo_source ()) ~eps:0.001 phi in
+      Alcotest.(check bool)
+        (Printf.sprintf "99%% CI contains exact estimate: %s" qtext)
+        true
+        (Interval.contains mc.Mc_eval.bounds
+           (Rational.to_float exact.Approx_eval.estimate));
+      let sess = Anytime.create ~eps:0.001 (geo_source ()) phi in
+      ignore (Anytime.run sess);
+      match Anytime.last_step sess with
+      | None -> Alcotest.fail "anytime produced no step"
+      | Some s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "99%% CI meets anytime enclosure: %s" qtext)
+          true
+          (Interval.intersect mc.Mc_eval.bounds s.Anytime.bounds <> None))
+    [
+      "exists x. R(x)";
+      "forall x. R(x) -> (exists y. R(y) & x = y)";
+      "(exists x. R(x)) & !(forall y. R(y))";
+    ]
+
+let test_limit_semantics_padding () =
+  (* P(forall y. R(y)) is 0 in the limit (infinitely many facts, each
+     absent with positive probability) even though every truncated table
+     has a world satisfying it.  The padded evaluation domain makes every
+     sampled world report its limit value. *)
+  let r =
+    Mc_eval.boolean ~seed:3 ~samples:2000 (geo_space ())
+      (parse "forall y. R(y)")
+  in
+  Alcotest.(check int) "no sampled world satisfies forall" 0 r.Mc_eval.hits
+
+let test_marginal_ti () =
+  let r =
+    Mc_eval.marginal ~seed:21 ~samples:40_000 (geo_space ()) (r_fact 0)
+  in
+  Alcotest.(check bool) "R(0) marginal ~ 1/2" true
+    (Float.abs (r.Mc_eval.estimate -. 0.5) < 0.02);
+  Alcotest.(check bool) "interval contains 1/2" true
+    (Interval.contains r.Mc_eval.bounds 0.5)
+
+let test_bid_space () =
+  (* E6's BID: block k holds T(k,0), T(k,1) each at 2^-(k+2); marginal of
+     T(0,0) is exactly 1/4, and no world may hold both facts of block 0. *)
+  let blocks =
+    Seq.map
+      (fun k ->
+        let p = Rational.pow Rational.half (k + 2) in
+        Countable_bid.block_finite
+          ~id:(Printf.sprintf "B%d" k)
+          [ (fact "T" [ k; 0 ], p); (fact "T" [ k; 1 ], p) ])
+      (Seq.ints 0)
+  in
+  let b =
+    Countable_bid.create ~name:"geo-bid" ~blocks
+      ~tail:(fun n -> Some (Float.succ (0.5 ** float_of_int (n + 1))))
+      ()
+  in
+  let space = Mc_eval.Bid b in
+  let m = Mc_eval.marginal ~seed:6 ~samples:40_000 space (fact "T" [ 0; 0 ]) in
+  Alcotest.(check bool) "T(0,0) ~ 1/4" true
+    (Float.abs (m.Mc_eval.estimate -. 0.25) < 0.02);
+  Alcotest.(check bool) "interval contains 1/4" true
+    (Interval.contains m.Mc_eval.bounds 0.25);
+  let excl =
+    Mc_eval.boolean ~seed:7 ~samples:5000 space
+      (parse "T(0, 0) & T(0, 1)")
+  in
+  Alcotest.(check int) "in-block exclusivity exact" 0 excl.Mc_eval.hits
+
+let test_completion_space () =
+  (* MC on a completion agrees with the exact completion engine. *)
+  let ti =
+    Ti_table.create
+      [ (fact "R" [ 1 ], q 8 10); (fact "R" [ 2 ], q 4 10) ]
+  in
+  let c =
+    Completion.geometric_policy ~first:(q 1 4) ~ratio:Rational.half
+      ~new_facts:(fun j -> fact "N" [ j ])
+      ti
+  in
+  List.iter
+    (fun qtext ->
+      let phi = parse qtext in
+      let exact = Completion.query_prob c ~eps:0.001 phi in
+      let mc =
+        Mc_eval.boolean ~seed:8 ~samples:40_000 ~confidence:0.99
+          (Mc_eval.Completed c) phi
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "completion MC contains exact: %s" qtext)
+        true
+        (Interval.contains mc.Mc_eval.bounds
+           (Rational.to_float exact.Approx_eval.estimate)))
+    [ "exists x. N(x)"; "R(1) & !(exists x. N(x))" ]
+
+let test_estimate_event_generic () =
+  (* The raw engine on a plain coin: P(float < 0.5). *)
+  let r =
+    Mc_eval.estimate_event ~domains:2 ~seed:1 ~samples:20_000 Prng.float
+      (fun u -> u < 0.5)
+  in
+  Alcotest.(check bool) "fair coin" true
+    (Float.abs (r.Mc_eval.estimate -. 0.5) < 0.02);
+  Alcotest.(check (float 0.0)) "no truncation tv by default" 0.0
+    r.Mc_eval.truncation_tv;
+  (* the tv widening is folded into bounds but not wilson *)
+  let w =
+    Mc_eval.estimate_event ~truncation_tv:0.1 ~seed:1 ~samples:1000 Prng.float
+      (fun u -> u < 0.5)
+  in
+  Alcotest.(check bool) "bounds wider than wilson by 2*tv" true
+    (Float.abs
+       (Interval.width w.Mc_eval.bounds
+       -. (Interval.width w.Mc_eval.wilson +. 0.2))
+    < 1e-9)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "statistics",
+        [
+          Alcotest.test_case "z of confidence" `Quick test_z_of_confidence;
+          Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "bit-identity across domains" `Quick
+            test_bit_identity_across_domains;
+          Alcotest.test_case "result accounting" `Quick test_result_accounting;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "generic event estimator" `Quick
+            test_estimate_event_generic;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "cross-engine (E1/E16 queries)" `Slow
+            test_cross_engine_agreement;
+          Alcotest.test_case "limit semantics via padding" `Quick
+            test_limit_semantics_padding;
+          Alcotest.test_case "TI marginal" `Slow test_marginal_ti;
+          Alcotest.test_case "BID space" `Slow test_bid_space;
+          Alcotest.test_case "completion space" `Slow test_completion_space;
+        ] );
+    ]

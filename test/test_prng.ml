@@ -37,6 +37,39 @@ let test_split () =
   let ys = List.init 50 (fun _ -> Prng.next_int64 b) in
   Alcotest.(check bool) "split decorrelated" false (xs = ys)
 
+let test_substream () =
+  (* substream g i must equal the (i+1)-th successive split, without
+     advancing g. *)
+  let a = g () in
+  let expected =
+    List.init 5 (fun _ -> Prng.next_int64 (Prng.split a))
+  in
+  let b = g () in
+  let before = Prng.copy b in
+  let got = List.init 5 (fun i -> Prng.next_int64 (Prng.substream b i)) in
+  List.iteri
+    (fun i (x, y) ->
+      Alcotest.(check int64) (Printf.sprintf "substream %d = split^%d" i (i + 1)) x y)
+    (List.combine expected got);
+  Alcotest.(check int64) "parent not advanced" (Prng.next_int64 before)
+    (Prng.next_int64 b);
+  (* pure in both arguments: same index, same stream *)
+  let c = g () in
+  Alcotest.(check int64) "pure"
+    (Prng.next_int64 (Prng.substream c 3))
+    (Prng.next_int64 (Prng.substream c 3));
+  Alcotest.check_raises "negative index" (Invalid_argument "Prng.substream")
+    (fun () -> ignore (Prng.substream c (-1)))
+
+let test_substream_decorrelated () =
+  (* Adjacent substreams should not produce overlapping prefixes. *)
+  let a = g () in
+  let draw i =
+    let s = Prng.substream a i in
+    List.init 50 (fun _ -> Prng.next_int64 s)
+  in
+  Alcotest.(check bool) "streams 0 and 1 differ" false (draw 0 = draw 1)
+
 let test_float_range () =
   let gen = g () in
   for _ = 1 to 10_000 do
@@ -177,6 +210,9 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
           Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "substream" `Quick test_substream;
+          Alcotest.test_case "substream decorrelated" `Quick
+            test_substream_decorrelated;
           Alcotest.test_case "float range" `Quick test_float_range;
           Alcotest.test_case "float mean" `Slow test_float_mean;
           Alcotest.test_case "int uniformity" `Slow test_int_range_and_uniformity;

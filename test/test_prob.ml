@@ -42,6 +42,33 @@ let test_interval_div_by_zero () =
   Alcotest.check_raises "0 in divisor" Division_by_zero (fun () ->
       ignore (I.div I.one (I.make (-1.0) 1.0)))
 
+let no_nan x = (not (Float.is_nan (I.lo x))) && not (Float.is_nan (I.hi x))
+
+let test_interval_unbounded_mul () =
+  (* The 0 * inf corners used to produce nan, which [make]'s guard never
+     sees (the arithmetic bypasses it).  Set-based convention: the corner
+     contributes 0. *)
+  let z_inf = I.mul (I.make 0.0 1.0) (I.make 1.0 infinity) in
+  Alcotest.(check bool) "0*[1,inf] no nan" true (no_nan z_inf);
+  Alcotest.(check bool) "encloses 0" true (I.contains z_inf 0.0);
+  Alcotest.(check bool) "encloses large" true (I.contains z_inf 1e300);
+  let m = I.mul (I.make neg_infinity 0.0) (I.make 0.0 infinity) in
+  Alcotest.(check bool) "[-inf,0]*[0,inf] no nan" true (no_nan m);
+  Alcotest.(check bool) "lower unbounded" true (I.lo m = neg_infinity);
+  Alcotest.(check bool) "hi is 0 corner" true (I.hi m >= 0.0)
+
+let test_interval_unbounded_div () =
+  (* inf/inf corners: each contributes {0, signed inf}. *)
+  let d = I.div (I.make 1.0 infinity) (I.make 1.0 infinity) in
+  Alcotest.(check bool) "[1,inf]/[1,inf] no nan" true (no_nan d);
+  Alcotest.(check bool) "encloses 0 limit" true (I.contains d 0.0);
+  Alcotest.(check bool) "encloses inf limit" true (I.hi d = infinity);
+  Alcotest.(check bool) "encloses 1" true (I.contains d 1.0);
+  let d2 = I.div (I.make neg_infinity (-1.0)) (I.make 1.0 infinity) in
+  Alcotest.(check bool) "[-inf,-1]/[1,inf] no nan" true (no_nan d2);
+  Alcotest.(check bool) "negative side" true
+    (I.lo d2 = neg_infinity && I.contains d2 0.0)
+
 let test_interval_set_ops () =
   let a = I.make 0.0 0.5 and b = I.make 0.25 1.0 in
   let h = I.hull a b in
@@ -191,8 +218,30 @@ let test_check_probability () =
 
 let arb_unit = QCheck.float_range 0.0 1.0
 
+(* Endpoints drawn from a set rich in the corner cases: zeros, infinities
+   and magnitudes whose products overflow. *)
+let arb_endpoint =
+  QCheck.oneofl
+    [ neg_infinity; -1e308; -2.5; -1.0; -0.0; 0.0; 0.5; 1.0; 1e308; infinity ]
+
+let arb_interval =
+  QCheck.map
+    (fun (a, b) -> I.make (Float.min a b) (Float.max a b))
+    QCheck.(pair arb_endpoint arb_endpoint)
+
 let props =
   [
+    QCheck.Test.make ~name:"interval mul never nan" ~count:1000
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        let m = I.mul a b in
+        (not (Float.is_nan (I.lo m))) && not (Float.is_nan (I.hi m)));
+    QCheck.Test.make ~name:"interval div never nan" ~count:1000
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        match I.div a b with
+        | d -> (not (Float.is_nan (I.lo d))) && not (Float.is_nan (I.hi d))
+        | exception Division_by_zero -> true);
     QCheck.Test.make ~name:"interval add encloses" ~count:300
       QCheck.(pair arb_unit arb_unit)
       (fun (a, b) -> I.contains (I.add (I.point a) (I.point b)) (a +. b));
@@ -235,6 +284,8 @@ let () =
           Alcotest.test_case "encloses ops" `Quick test_interval_encloses_ops;
           Alcotest.test_case "mul signs" `Quick test_interval_mul_signs;
           Alcotest.test_case "div by zero" `Quick test_interval_div_by_zero;
+          Alcotest.test_case "unbounded mul" `Quick test_interval_unbounded_mul;
+          Alcotest.test_case "unbounded div" `Quick test_interval_unbounded_div;
           Alcotest.test_case "set ops" `Quick test_interval_set_ops;
           Alcotest.test_case "clamp01" `Quick test_interval_clamp;
           Alcotest.test_case "compl" `Quick test_interval_compl;
