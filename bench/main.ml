@@ -768,6 +768,87 @@ let e17 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E18 - resource-governed supervisor under faults                     *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  header "E18"
+    "Robust_eval: enclosure width vs budget and fault rate, degradation path";
+  let phi = parse "exists x. R(x)" in
+  let limit = 1.0 -. 0.2887880951 in
+  let eps = 0.005 in
+  (* Virtual clock: [units] of work define the whole allowance, so every
+     row is bit-reproducible and independent of the host. *)
+  let budget_of units =
+    Budget.create ~clock:(Budget.Virtual 10_000)
+      ~timeout:(float_of_int units /. 10_000.0)
+      ()
+  in
+  let run ?faults units =
+    let src =
+      match faults with
+      | None -> geo_source ()
+      | Some cfg -> Faulty_source.wrap cfg (geo_source ())
+    in
+    Robust_eval.query ~budget:(budget_of units) ~eps ~mc_samples:20_000 ~seed:3
+      src phi
+  in
+  (* 1. Shrinking budgets, clean vs a moderately hostile fault schedule:
+     the answer degrades from a converged certificate to a wide partial
+     enclosure, but stays sound at every size. *)
+  row "  %-10s %-12s %-28s %-12s %-28s %s\n" "units" "clean width" "clean stop"
+    "fault width" "fault stop" "both sound";
+  List.iter
+    (fun units ->
+      let clean = run units in
+      let faulted =
+        run ~faults:{ (Faulty_source.default ~seed:5) with stall = 0.0 } units
+      in
+      let sound a = Interval.contains a.Robust_eval.enclosure limit in
+      row "  %-10d %-12.6f %-28s %-12.6f %-28s %b\n" units
+        (Interval.width clean.Robust_eval.enclosure)
+        clean.Robust_eval.provenance.stopped
+        (Interval.width faulted.Robust_eval.enclosure)
+        faulted.Robust_eval.provenance.stopped
+        (sound clean && sound faulted))
+    [ 5; 15; 30; 1_000; 100_000 ];
+  (* 2. Rising fault rates at a fixed 1000-unit budget: more retries and
+     deeper degradation, never an exception, never an unsound interval. *)
+  row "\n  %-10s %-12s %-9s %-28s %s\n" "transient" "width" "retries"
+    "stopped" "sound";
+  let c_attempts = Stats.counter "robust.retry.attempts" in
+  List.iter
+    (fun rate ->
+      let cfg =
+        {
+          Faulty_source.none with
+          seed = 11;
+          transient = rate;
+          bad_prob = rate /. 4.0;
+          nan_tail = rate /. 2.0;
+          tail_blackout = rate /. 2.0;
+        }
+      in
+      let before = Stats.count c_attempts in
+      let a = run ~faults:cfg 1_000 in
+      row "  %-10.2f %-12.6f %-9d %-28s %b\n" rate
+        (Interval.width a.Robust_eval.enclosure)
+        (Stats.count c_attempts - before)
+        a.Robust_eval.provenance.stopped
+        (Interval.contains a.Robust_eval.enclosure limit))
+    [ 0.0; 0.2; 0.5; 0.9 ];
+  (* 3. Reproducibility: the acceptance criterion's 100 ms virtual
+     budget with faults — the whole answer, provenance included, must be
+     bit-identical across runs. *)
+  let faults = { (Faulty_source.default ~seed:5) with stall = 0.0 } in
+  let a1 = Robust_eval.answer_to_string (run ~faults 1_000) in
+  let a2 = Robust_eval.answer_to_string (run ~faults 1_000) in
+  row "\n  faulted 1000-unit answer bit-identical across runs: %b\n" (a1 = a2);
+  row "%s\n"
+    (String.concat "\n"
+       (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' a1)))
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,14 +856,14 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
-let smoke_ids = [ "E1"; "E3"; "E8"; "E17" ]
+let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18" ]
 
 let () =
   let args = Array.to_list Sys.argv in

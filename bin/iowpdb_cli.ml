@@ -1,285 +1,5 @@
-(* Command-line interface to the library.
+(* Thin wrapper: the whole CLI lives in lib/cli so the test suite can
+   drive it through Cmdliner's evaluation API.  Cmd.eval' returns the
+   exit code our guarded commands produce. *)
 
-   Subcommands:
-     query    - exact Boolean/non-Boolean query on a TI table file
-     open     - open-world query: complete the table, approximate to eps
-     anytime  - incremental evaluation with a narrowing certified interval
-     mc       - domain-parallel Monte-Carlo estimation with a Wilson CI
-     sample   - draw worlds from the (optionally completed) PDB
-     info     - table statistics
-
-   Table files are the Ti_table text format: one "R(args...) prob" per
-   line, '#' comments.  Open-world policies: --policy lambda:<p>:<k>
-   (k fresh facts of probability p over relation N) or
-   --policy geometric:<first>:<ratio> (infinitely many N(0), N(1), ...).
-
-   Subcommands that do real inference take --stats to print the
-   instrumentation counters (BDD cache traffic, fact-source pulls,
-   engine dispatch) accumulated during the run. *)
-
-open Cmdliner
-
-let read_table = Ti_table.of_file
-
-let parse_policy spec ti =
-  match String.split_on_char ':' spec with
-  | [ "lambda"; p; k ] ->
-    let lambda = Rational.of_string p and k = int_of_string k in
-    Completion.openpdb_lambda ~lambda
-      ~new_facts:(List.init k (fun j -> Fact.make "N" [ Value.Int j ]))
-      ti
-  | [ "geometric"; first; ratio ] ->
-    Completion.geometric_policy
-      ~first:(Rational.of_string first)
-      ~ratio:(Rational.of_string ratio)
-      ~new_facts:(fun j -> Fact.make "N" [ Value.Int j ])
-      ti
-  | _ ->
-    invalid_arg
-      (Printf.sprintf
-         "bad policy %S (want lambda:<p>:<k> or geometric:<first>:<ratio>)"
-         spec)
-
-(* Shared arguments *)
-let table_arg =
-  Arg.(
-    required
-    & pos 0 (some file) None
-    & info [] ~docv:"TABLE" ~doc:"TI table file (one 'R(args) prob' per line).")
-
-let query_arg p =
-  Arg.(
-    required
-    & pos p (some string) None
-    & info [] ~docv:"QUERY" ~doc:"First-order query, e.g. 'exists x. R(x, 1)'.")
-
-let stats_arg =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print instrumentation counters (BDD cache traffic, fact-source \
-           pulls, engine dispatch, wall-clock) accumulated during the run.")
-
-let with_stats enabled f =
-  let before = Stats.snapshot () in
-  let r = f () in
-  if enabled then begin
-    print_newline ();
-    print_endline "-- stats --";
-    Stats.report Format.std_formatter (Stats.diff (Stats.snapshot ()) before);
-    Format.pp_print_flush Format.std_formatter ()
-  end;
-  r
-
-let run_query table query stats =
-  with_stats stats @@ fun () ->
-  let ti = read_table table in
-  let phi = Fo_parse.parse_exn query in
-  if Fo.free_vars phi = [] then begin
-    let p = Query_eval.boolean ti phi in
-    Printf.printf "P[ %s ] = %s (~%s)\n" query (Rational.to_string p)
-      (Rational.to_decimal_string ~digits:8 p)
-  end
-  else
-    List.iter
-      (fun (tup, p) ->
-        Printf.printf "P[ %s at %s ] = %s\n" query (Tuple.to_string tup)
-          (Rational.to_string p))
-      (Query_eval.marginals ti phi)
-
-let query_cmd =
-  let doc = "Exact query evaluation on a closed-world TI table." in
-  Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ table_arg $ query_arg 1 $ stats_arg)
-
-let policy_arg =
-  Arg.(
-    value
-    & opt string "geometric:1/4:1/2"
-    & info [ "policy" ] ~docv:"POLICY"
-        ~doc:
-          "Open-world policy: lambda:<p>:<k> or geometric:<first>:<ratio>.")
-
-let eps_arg =
-  Arg.(
-    value
-    & opt float 0.01
-    & info [ "eps" ] ~docv:"EPS" ~doc:"Additive error budget in (0, 1/2).")
-
-let run_open table query policy eps stats =
-  with_stats stats @@ fun () ->
-  let ti = read_table table in
-  let c = parse_policy policy ti in
-  let phi = Fo_parse.parse_exn query in
-  let r = Completion.query_prob c ~eps phi in
-  Printf.printf
-    "P[ %s ] = %s (+/- %g; %d new facts; certified in [%.8f, %.8f])\n" query
-    (Rational.to_decimal_string ~digits:8 r.Approx_eval.estimate)
-    eps r.Approx_eval.n_used
-    (Interval.lo r.Approx_eval.bounds)
-    (Interval.hi r.Approx_eval.bounds)
-
-let open_cmd =
-  let doc = "Open-world (completed) approximate query evaluation." in
-  Cmd.v (Cmd.info "open" ~doc)
-    Term.(
-      const run_open $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
-      $ stats_arg)
-
-let run_anytime table query policy eps stats =
-  with_stats stats @@ fun () ->
-  let ti = read_table table in
-  let c = parse_policy policy ti in
-  let src =
-    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
-  in
-  let phi = Fo_parse.parse_exn query in
-  let sess = Anytime.create ~eps src phi in
-  let reason, steps = Anytime.run sess in
-  List.iter
-    (fun (s : Anytime.step) ->
-      Printf.printf
-        "step %2d: n=%6d  est=%.8f  in [%.8f, %.8f]  width=%.2e  bdd=%d  %s\n"
-        s.Anytime.index s.Anytime.n
-        (Interval.mid s.Anytime.estimate)
-        (Interval.lo s.Anytime.bounds)
-        (Interval.hi s.Anytime.bounds)
-        s.Anytime.width s.Anytime.bdd_size
-        (if s.Anytime.incremental then "delta" else "recompile"))
-    steps;
-  Printf.printf "stopped: %s after %d steps (n=%d, %d nodes in the manager)\n"
-    (Anytime.stop_reason_to_string reason)
-    (List.length steps) (Anytime.current_n sess) (Anytime.node_count sess)
-
-let anytime_cmd =
-  let doc =
-    "Incremental anytime evaluation: deepen the truncation step by step, \
-     reusing BDD work, until the certified interval has width at most \
-     2*eps."
-  in
-  Cmd.v (Cmd.info "anytime" ~doc)
-    Term.(
-      const run_anytime $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
-      $ stats_arg)
-
-let samples_arg =
-  Arg.(
-    value & opt int 5
-    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Number of worlds to draw.")
-
-let seed_arg =
-  Arg.(
-    value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let opened_arg =
-  Arg.(
-    value & flag
-    & info [ "open-world" ] ~doc:"Sample from the completed PDB instead.")
-
-let run_sample table n seed opened policy =
-  let ti = read_table table in
-  let g = Prng.create ~seed () in
-  if opened then begin
-    let c = parse_policy policy ti in
-    let src =
-      Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
-    in
-    let cti = Countable_ti.create src in
-    for _ = 1 to n do
-      print_endline (Instance.to_string (Countable_ti.sample cti g))
-    done
-  end
-  else
-    for _ = 1 to n do
-      print_endline (Instance.to_string (Ti_table.sample ti g))
-    done
-
-let sample_cmd =
-  let doc = "Draw random worlds." in
-  Cmd.v (Cmd.info "sample" ~doc)
-    Term.(
-      const run_sample $ table_arg $ samples_arg $ seed_arg $ opened_arg
-      $ policy_arg)
-
-let domains_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "domains" ] ~docv:"D"
-        ~doc:
-          "Worker domains for the Monte-Carlo engine (0 = one per \
-           recommended core).  The estimate is bit-identical for every \
-           value: parallelism changes only who executes a batch.")
-
-let mc_samples_arg =
-  Arg.(
-    value & opt int 100_000
-    & info [ "samples" ] ~docv:"N" ~doc:"Number of worlds to draw.")
-
-let confidence_arg =
-  Arg.(
-    value
-    & opt float 0.99
-    & info [ "confidence" ] ~docv:"C"
-        ~doc:"Two-sided coverage level of the reported interval, in (0,1).")
-
-let run_mc table query opened policy domains samples confidence seed stats =
-  with_stats stats @@ fun () ->
-  let ti = read_table table in
-  let space =
-    if opened then Mc_eval.Completed (parse_policy policy ti)
-    else Mc_eval.Ti (Countable_ti.create (Fact_source.of_ti_table ti))
-  in
-  let phi = Fo_parse.parse_exn query in
-  let domains = if domains = 0 then None else Some domains in
-  let r = Mc_eval.boolean ?domains ~confidence ~seed ~samples space phi in
-  Printf.printf
-    "P[ %s ] ~ %.8f  (%d/%d hits; %g%% interval [%.8f, %.8f]; truncation TV \
-     %.2e; %d domains, %d batches of %d)\n"
-    query r.Mc_eval.estimate r.Mc_eval.hits r.Mc_eval.samples
-    (100.0 *. r.Mc_eval.confidence)
-    (Interval.lo r.Mc_eval.bounds)
-    (Interval.hi r.Mc_eval.bounds)
-    r.Mc_eval.truncation_tv r.Mc_eval.domains_used r.Mc_eval.batches
-    r.Mc_eval.batch_size;
-  if stats then begin
-    print_endline "-- interval width trajectory --";
-    List.iter
-      (fun (n, w) -> Printf.printf "  after %8d worlds: width %.6f\n" n w)
-      r.Mc_eval.width_trajectory
-  end
-
-let mc_cmd =
-  let doc =
-    "Monte-Carlo query estimation: draw worlds from the (optionally \
-     completed) PDB in parallel across domains and report a \
-     Wilson-score confidence interval widened by the truncation bound."
-  in
-  Cmd.v (Cmd.info "mc" ~doc)
-    Term.(
-      const run_mc $ table_arg $ query_arg 1 $ opened_arg $ policy_arg
-      $ domains_arg $ mc_samples_arg $ confidence_arg $ seed_arg $ stats_arg)
-
-let run_info table =
-  let ti = read_table table in
-  Printf.printf "facts:          %d\n" (Ti_table.size ti);
-  Printf.printf "expected size:  %s\n"
-    (Rational.to_decimal_string (Ti_table.expected_instance_size ti));
-  Printf.printf "active domain:  %d values\n"
-    (List.length (Ti_table.active_domain ti));
-  List.iter
-    (fun (f, p) ->
-      Printf.printf "  %s %s\n" (Fact.to_string f) (Rational.to_string p))
-    (Ti_table.facts ti)
-
-let info_cmd =
-  let doc = "Show statistics of a TI table." in
-  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ table_arg)
-
-let () =
-  let doc = "infinite open-world probabilistic databases" in
-  let info = Cmd.info "iowpdb" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ query_cmd; open_cmd; anytime_cmd; mc_cmd; sample_cmd; info_cmd ]))
+let () = exit (Cli.main ())

@@ -1,0 +1,440 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     query    - exact Boolean/non-Boolean query on a TI table file
+     open     - open-world query: complete the table, approximate to eps
+     anytime  - incremental evaluation with a narrowing certified interval
+     mc       - domain-parallel Monte-Carlo estimation with a Wilson CI
+     robust   - resource-governed supervisor: exact -> anytime -> MC
+                under one budget, with retries and provenance
+     sample   - draw worlds from the (optionally completed) PDB
+     info     - table statistics
+
+   Table files are the Ti_table text format: one "R(args...) prob" per
+   line, '#' comments.  Open-world policies: --policy lambda:<p>:<k>
+   (k fresh facts of probability p over relation N) or
+   --policy geometric:<first>:<ratio> (infinitely many N(0), N(1), ...).
+
+   Subcommands that do real inference take --stats to print the
+   instrumentation counters (BDD cache traffic, fact-source pulls,
+   engine dispatch) accumulated during the run.
+
+   Every command body runs under [guard], which turns the error taxonomy
+   into one-line stderr messages and exit codes (Errors.exit_code:
+   malformed input 2, budget exhaustion 3, engine failure 1) instead of
+   uncaught-exception backtraces. *)
+
+open Cmdliner
+
+let guard f =
+  try
+    f ();
+    0
+  with
+  | Errors.Error e ->
+    prerr_endline ("iowpdb: " ^ Errors.to_string e);
+    Errors.exit_code e
+  | Budget.Exhausted ex ->
+    prerr_endline
+      ("iowpdb: budget exhausted: " ^ Budget.exhaustion_to_string ex);
+    3
+  | Invalid_argument msg | Sys_error msg | Failure msg ->
+    prerr_endline ("iowpdb: " ^ msg);
+    2
+
+let read_table = Ti_table.of_file
+
+let parse_policy spec ti =
+  match String.split_on_char ':' spec with
+  | [ "lambda"; p; k ] ->
+    let lambda = Rational.of_string p and k = int_of_string k in
+    Completion.openpdb_lambda ~lambda
+      ~new_facts:(List.init k (fun j -> Fact.make "N" [ Value.Int j ]))
+      ti
+  | [ "geometric"; first; ratio ] ->
+    Completion.geometric_policy
+      ~first:(Rational.of_string first)
+      ~ratio:(Rational.of_string ratio)
+      ~new_facts:(fun j -> Fact.make "N" [ Value.Int j ])
+      ti
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "bad policy %S (want lambda:<p>:<k> or geometric:<first>:<ratio>)"
+         spec)
+
+(* Shared arguments *)
+(* A plain string, not Arg.file: existence is checked by Ti_table.of_file
+   inside [guard], so a missing file exits 2 with a one-line message like
+   every other input error, instead of Cmdliner's usage error. *)
+let table_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TABLE" ~doc:"TI table file (one 'R(args) prob' per line).")
+
+let query_arg p =
+  Arg.(
+    required
+    & pos p (some string) None
+    & info [] ~docv:"QUERY" ~doc:"First-order query, e.g. 'exists x. R(x, 1)'.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print instrumentation counters (BDD cache traffic, fact-source \
+           pulls, engine dispatch, wall-clock) accumulated during the run.")
+
+let with_stats enabled f =
+  let before = Stats.snapshot () in
+  let r = f () in
+  if enabled then begin
+    print_newline ();
+    print_endline "-- stats --";
+    Stats.report Format.std_formatter (Stats.diff (Stats.snapshot ()) before);
+    Format.pp_print_flush Format.std_formatter ()
+  end;
+  r
+
+(* Budget flags, shared by anytime / mc / robust.  The terms carry raw
+   options; budgets are constructed inside [guard] so that validation
+   errors exit like any other bad argument. *)
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Evaluation deadline in seconds (on the chosen clock).")
+
+let virtual_rate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "virtual-rate" ] ~docv:"UNITS"
+        ~doc:
+          "Run the deadline on a deterministic virtual clock advancing \
+           UNITS work units per second: with --timeout this becomes a \
+           reproducible total-work cap, so budget-truncated answers are \
+           bit-identical across runs and machines.")
+
+let max_bdd_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-bdd-nodes" ] ~docv:"N"
+        ~doc:"Cap on freshly allocated BDD nodes.")
+
+let max_facts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-facts" ] ~docv:"N"
+        ~doc:"Cap on facts pulled from the source.")
+
+let make_budget ?max_bdd_nodes ?max_facts ~timeout ~virtual_rate () =
+  if
+    timeout = None && virtual_rate = None && max_bdd_nodes = None
+    && max_facts = None
+  then None
+  else begin
+    let clock = Option.map (fun r -> Budget.Virtual r) virtual_rate in
+    Some (Budget.create ?clock ?timeout ?max_bdd_nodes ?max_facts ())
+  end
+
+let run_query table query stats =
+  guard @@ fun () ->
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let phi = Fo_parse.parse_exn query in
+  if Fo.free_vars phi = [] then begin
+    let p = Query_eval.boolean ti phi in
+    Printf.printf "P[ %s ] = %s (~%s)\n" query (Rational.to_string p)
+      (Rational.to_decimal_string ~digits:8 p)
+  end
+  else
+    List.iter
+      (fun (tup, p) ->
+        Printf.printf "P[ %s at %s ] = %s\n" query (Tuple.to_string tup)
+          (Rational.to_string p))
+      (Query_eval.marginals ti phi)
+
+let query_cmd =
+  let doc = "Exact query evaluation on a closed-world TI table." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ table_arg $ query_arg 1 $ stats_arg)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "geometric:1/4:1/2"
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Open-world policy: lambda:<p>:<k> or geometric:<first>:<ratio>.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Additive error budget in (0, 1/2).")
+
+let run_open table query policy eps stats =
+  guard @@ fun () ->
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let c = parse_policy policy ti in
+  let phi = Fo_parse.parse_exn query in
+  let r = Completion.query_prob c ~eps phi in
+  Printf.printf
+    "P[ %s ] = %s (+/- %g; %d new facts; certified in [%.8f, %.8f])\n" query
+    (Rational.to_decimal_string ~digits:8 r.Approx_eval.estimate)
+    eps r.Approx_eval.n_used
+    (Interval.lo r.Approx_eval.bounds)
+    (Interval.hi r.Approx_eval.bounds)
+
+let open_cmd =
+  let doc = "Open-world (completed) approximate query evaluation." in
+  Cmd.v (Cmd.info "open" ~doc)
+    Term.(
+      const run_open $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
+      $ stats_arg)
+
+let run_anytime table query policy eps timeout virtual_rate max_bdd_nodes
+    max_facts stats =
+  guard @@ fun () ->
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let c = parse_policy policy ti in
+  let src =
+    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+  in
+  let phi = Fo_parse.parse_exn query in
+  let budget =
+    make_budget ?max_bdd_nodes ?max_facts ~timeout ~virtual_rate ()
+  in
+  let sess = Anytime.create ~eps ?budget src phi in
+  let reason, steps = Anytime.run sess in
+  List.iter
+    (fun (s : Anytime.step) ->
+      Printf.printf
+        "step %2d: n=%6d  est=%.8f  in [%.8f, %.8f]  width=%.2e  bdd=%d  %s\n"
+        s.Anytime.index s.Anytime.n
+        (Interval.mid s.Anytime.estimate)
+        (Interval.lo s.Anytime.bounds)
+        (Interval.hi s.Anytime.bounds)
+        s.Anytime.width s.Anytime.bdd_size
+        (if s.Anytime.incremental then "delta" else "recompile"))
+    steps;
+  Printf.printf "stopped: %s after %d steps (n=%d, %d nodes in the manager)\n"
+    (Anytime.stop_reason_to_string reason)
+    (List.length steps) (Anytime.current_n sess) (Anytime.node_count sess)
+
+let anytime_cmd =
+  let doc =
+    "Incremental anytime evaluation: deepen the truncation step by step, \
+     reusing BDD work, until the certified interval has width at most \
+     2*eps (or a budget interrupts it, leaving the last certified \
+     enclosure)."
+  in
+  Cmd.v (Cmd.info "anytime" ~doc)
+    Term.(
+      const run_anytime $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
+      $ timeout_arg $ virtual_rate_arg $ max_bdd_nodes_arg $ max_facts_arg
+      $ stats_arg)
+
+let samples_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Number of worlds to draw.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let opened_arg =
+  Arg.(
+    value & flag
+    & info [ "open-world" ] ~doc:"Sample from the completed PDB instead.")
+
+let run_sample table n seed opened policy =
+  guard @@ fun () ->
+  let ti = read_table table in
+  let g = Prng.create ~seed () in
+  if opened then begin
+    let c = parse_policy policy ti in
+    let src =
+      Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+    in
+    let cti = Countable_ti.create src in
+    for _ = 1 to n do
+      print_endline (Instance.to_string (Countable_ti.sample cti g))
+    done
+  end
+  else
+    for _ = 1 to n do
+      print_endline (Instance.to_string (Ti_table.sample ti g))
+    done
+
+let sample_cmd =
+  let doc = "Draw random worlds." in
+  Cmd.v (Cmd.info "sample" ~doc)
+    Term.(
+      const run_sample $ table_arg $ samples_arg $ seed_arg $ opened_arg
+      $ policy_arg)
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the Monte-Carlo engine (0 = one per \
+           recommended core).  The estimate is bit-identical for every \
+           value: parallelism changes only who executes a batch.")
+
+let mc_samples_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "samples" ] ~docv:"N" ~doc:"Number of worlds to draw.")
+
+let confidence_arg =
+  Arg.(
+    value
+    & opt float 0.99
+    & info [ "confidence" ] ~docv:"C"
+        ~doc:"Two-sided coverage level of the reported interval, in (0,1).")
+
+let run_mc table query opened policy domains samples confidence seed timeout
+    virtual_rate stats =
+  guard @@ fun () ->
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let space =
+    if opened then Mc_eval.Completed (parse_policy policy ti)
+    else Mc_eval.Ti (Countable_ti.create (Fact_source.of_ti_table ti))
+  in
+  let phi = Fo_parse.parse_exn query in
+  let domains = if domains = 0 then None else Some domains in
+  let budget = make_budget ~timeout ~virtual_rate () in
+  let r =
+    Mc_eval.boolean ?budget ?domains ~confidence ~seed ~samples space phi
+  in
+  Printf.printf
+    "P[ %s ] ~ %.8f  (%d/%d hits; %g%% interval [%.8f, %.8f]; truncation TV \
+     %.2e; %d domains, %d batches of %d%s)\n"
+    query r.Mc_eval.estimate r.Mc_eval.hits r.Mc_eval.samples
+    (100.0 *. r.Mc_eval.confidence)
+    (Interval.lo r.Mc_eval.bounds)
+    (Interval.hi r.Mc_eval.bounds)
+    r.Mc_eval.truncation_tv r.Mc_eval.domains_used r.Mc_eval.batches
+    r.Mc_eval.batch_size
+    (if r.Mc_eval.interrupted then
+       Printf.sprintf "; interrupted at %d/%d worlds" r.Mc_eval.samples
+         r.Mc_eval.samples_requested
+     else "");
+  if stats then begin
+    print_endline "-- interval width trajectory --";
+    List.iter
+      (fun (n, w) -> Printf.printf "  after %8d worlds: width %.6f\n" n w)
+      r.Mc_eval.width_trajectory
+  end
+
+let mc_cmd =
+  let doc =
+    "Monte-Carlo query estimation: draw worlds from the (optionally \
+     completed) PDB in parallel across domains and report a \
+     Wilson-score confidence interval widened by the truncation bound."
+  in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(
+      const run_mc $ table_arg $ query_arg 1 $ opened_arg $ policy_arg
+      $ domains_arg $ mc_samples_arg $ confidence_arg $ seed_arg
+      $ timeout_arg $ virtual_rate_arg $ stats_arg)
+
+let inject_faults_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject-faults" ] ~docv:"SEED"
+        ~doc:
+          "Wrap the fact source in the deterministic fault injector \
+           (transient raises, stalls, corrupt probabilities, NaN and \
+           silent tail certificates) with this schedule seed — for \
+           robustness demos and tests.")
+
+let robust_samples_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "samples" ] ~docv:"N"
+        ~doc:"Monte-Carlo worlds for the last ladder rung.")
+
+let run_robust table query policy eps timeout virtual_rate max_bdd_nodes
+    max_facts samples seed faults stats =
+  guard @@ fun () ->
+  with_stats stats @@ fun () ->
+  let ti = read_table table in
+  let c = parse_policy policy ti in
+  let src =
+    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+  in
+  let src =
+    match faults with
+    | None -> src
+    | Some fs -> Faulty_source.wrap (Faulty_source.default ~seed:fs) src
+  in
+  let phi = Fo_parse.parse_exn query in
+  (* --timeout / --virtual-rate bound the whole ladder; the node/fact
+     caps are per-attempt (child budgets inside the supervisor). *)
+  let budget = make_budget ~timeout ~virtual_rate () in
+  let a =
+    Robust_eval.query ?budget ~eps ?max_bdd_nodes ?max_facts
+      ~mc_samples:samples ~seed src phi
+  in
+  print_endline (Robust_eval.answer_to_string a)
+
+let robust_cmd =
+  let doc =
+    "Resource-governed evaluation: run the degradation ladder exact -> \
+     anytime -> Monte-Carlo under one shared budget, retry transient \
+     faults, and report the narrowest certified enclosure with full \
+     provenance.  Never fails on faults or exhaustion — a starved run \
+     returns a wide (still sound) enclosure and says why."
+  in
+  Cmd.v (Cmd.info "robust" ~doc)
+    Term.(
+      const run_robust $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
+      $ timeout_arg $ virtual_rate_arg $ max_bdd_nodes_arg $ max_facts_arg
+      $ robust_samples_arg $ seed_arg $ inject_faults_arg $ stats_arg)
+
+let run_info table =
+  guard @@ fun () ->
+  let ti = read_table table in
+  Printf.printf "facts:          %d\n" (Ti_table.size ti);
+  Printf.printf "expected size:  %s\n"
+    (Rational.to_decimal_string (Ti_table.expected_instance_size ti));
+  Printf.printf "active domain:  %d values\n"
+    (List.length (Ti_table.active_domain ti));
+  List.iter
+    (fun (f, p) ->
+      Printf.printf "  %s %s\n" (Fact.to_string f) (Rational.to_string p))
+    (Ti_table.facts ti)
+
+let info_cmd =
+  let doc = "Show statistics of a TI table." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ table_arg)
+
+let root =
+  let doc = "infinite open-world probabilistic databases" in
+  Cmd.group
+    (Cmd.info "iowpdb" ~version:"1.0.0" ~doc)
+    [
+      query_cmd;
+      open_cmd;
+      anytime_cmd;
+      mc_cmd;
+      robust_cmd;
+      sample_cmd;
+      info_cmd;
+    ]
+
+let main ?argv () = Cmd.eval' ?argv root

@@ -65,6 +65,7 @@ type stop_reason =
   | Step_budget
   | Node_budget
   | Prefix_budget
+  | Interrupted of Budget.exhaustion
 
 let stop_reason_to_string = function
   | Converged -> "converged"
@@ -72,6 +73,7 @@ let stop_reason_to_string = function
   | Step_budget -> "step budget"
   | Node_budget -> "node budget"
   | Prefix_budget -> "prefix budget"
+  | Interrupted e -> "interrupted (" ^ Budget.exhaustion_to_string e ^ ")"
 
 type step = {
   index : int;
@@ -113,15 +115,9 @@ let shape_of phi =
   | Fo.Forall _ -> chain Ch_forall
   | _ -> if Fo.is_quantifier_free phi then Chain (Ch_exists, [], phi) else Opaque
 
-let rec has_cmp = function
-  | Fo.Cmp _ -> true
-  | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> false
-  | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) -> has_cmp f
-  | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) ->
-    has_cmp a || has_cmp b
-
 type t = {
   src : Fact_source.t;
+  budget : Budget.t option;
   phi : Fo.t;
   shape : shape;
   intersectable : bool;  (* Cmp-free: padded enclosures share one limit *)
@@ -163,7 +159,7 @@ let compile_full t alpha =
     (Lineage.of_sentence ~extra:(VSet.elements t.padding) alpha t.phi)
 
 let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
-    ?(max_nodes = max_int) ?growth src phi =
+    ?(max_nodes = max_int) ?growth ?budget src phi =
   if not (eps > 0.0 && eps < 0.5) then
     invalid_arg "Anytime: eps must lie in (0, 1/2)";
   if Fo.free_vars phi <> [] then
@@ -173,9 +169,20 @@ let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
     | Some g -> fun n -> Stdlib.max (n + 1) (g n)
     | None -> fun n -> Stdlib.max (n + 1) (2 * n)
   in
+  (* Under a budget, source accesses are charged (Facts/Probes) through
+     the wrapper and every fresh BDD node charges one Bdd_nodes unit;
+     either may raise [Budget.Exhausted] mid-step, which [step] converts
+     into an [Interrupted] stop with the last completed step's bounds
+     still standing. *)
+  let src =
+    match budget with Some b -> Fact_source.with_budget b src | None -> src
+  in
+  let tick =
+    Option.map (fun b () -> Budget.charge b Budget.Bdd_nodes 1) budget
+  in
   (* Newest-first order: later facts sit closer to the root, so joining
      delta lineage extends the diagram at the top. *)
-  let mgr = Bdd.manager ~order:(fun v -> -v) () in
+  let mgr = Bdd.manager ~order:(fun v -> -v) ?tick () in
   let adom = VSet.of_list (Fo.constants phi) in
   let pad_count = Fo.quantifier_rank phi in
   let padding, pad_attempt =
@@ -184,9 +191,10 @@ let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
   let t =
     {
       src;
+      budget;
       phi;
       shape = shape_of phi;
-      intersectable = not (has_cmp phi);
+      intersectable = not (Fo.has_cmp phi);
       pad_count;
       eps;
       max_n;
@@ -209,8 +217,11 @@ let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
   (* Depth-0 lineage: empty alphabet, domain = constants ∪ padding.  Every
      atom compiles to [False] there, so this settles e.g. a universal
      sentence to its padded (stable) value rather than the vacuous
-     empty-domain [True]. *)
-  t.bdd <- compile_full t (Lineage.alphabet []);
+     empty-domain [True].  A budget already exhausted at creation stops
+     the session immediately instead of raising out of [create]. *)
+  (match compile_full t (Lineage.alphabet []) with
+  | bdd -> t.bdd <- bdd
+  | exception Budget.Exhausted e -> t.stopped <- Some (Interrupted e));
   t
 
 let eps t = t.eps
@@ -219,6 +230,7 @@ let history t = List.rev t.steps_rev
 let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
 let stop_reason t = t.stopped
 let node_count t = Bdd.node_count t.mgr
+let bounds t = t.bounds
 
 let fact_args f = Array.to_list f.Fact.args
 
@@ -341,12 +353,33 @@ let advance t =
 let step t =
   match t.stopped with
   | Some _ -> None
+  | None when
+      (match t.budget with
+      | Some b ->
+        Budget.spend b Budget.Steps 1;
+        not (Budget.ok b)
+      | None -> false) ->
+    (* The budget tripped between steps (deadline, step cap, or an
+       ancestor): stop cleanly; the running bounds keep their last
+       certified value. *)
+    (match t.budget with
+    | Some b ->
+      t.stopped <-
+        Some (Interrupted (Option.value (Budget.exhausted b) ~default:Budget.Cancelled))
+    | None -> assert false);
+    None
   | None ->
     Stats.incr c_steps;
     let before = Stats.snapshot () in
-    let estimate, tail, bounds, bdd_size, incremental, exhausted =
-      Stats.time step_timer (fun () -> advance t)
-    in
+    match Stats.time step_timer (fun () -> advance t) with
+    | exception Budget.Exhausted e ->
+      (* Cooperative cancellation fired inside the step (a source pull,
+         tail probe, or BDD allocation).  The partially advanced state is
+         not published: [t.n], [t.bdd] and [t.bounds] still hold the last
+         completed step, so the session's enclosure remains certified. *)
+      t.stopped <- Some (Interrupted e);
+      None
+    | estimate, tail, bounds, bdd_size, incremental, exhausted ->
     let stats = Stats.diff (Stats.snapshot ()) before in
     let index = List.length t.steps_rev + 1 in
     let width = Interval.width bounds in

@@ -50,6 +50,10 @@ type stop_reason =
   | Step_budget  (** [max_steps] reached before convergence *)
   | Node_budget  (** the shared manager exceeded [max_nodes] *)
   | Prefix_budget  (** [max_n] facts reached before convergence *)
+  | Interrupted of Budget.exhaustion
+      (** the session's {!Budget.t} tripped (deadline, work-unit cap, or
+          cancellation); the running {!bounds} keep the last completed
+          step's certified enclosure *)
 
 val stop_reason_to_string : stop_reason -> string
 
@@ -82,6 +86,7 @@ val create :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?growth:(int -> int) ->
+  ?budget:Budget.t ->
   Fact_source.t ->
   Fo.t ->
   t
@@ -89,6 +94,13 @@ val create :
     [max_steps = 64], [max_nodes = max_int], [growth] doubles the prefix
     ([n -> max (n+1) (2n)]).  [growth] must be strictly increasing; its
     result is clamped to [max_n].
+
+    When [budget] is given, every step charges one [Steps] unit, source
+    accesses charge [Facts]/[Probes], and each fresh BDD node charges
+    one [Bdd_nodes] unit; exhaustion at any of these points stops the
+    session with [Interrupted] — never an exception — and the bounds of
+    the last {e completed} step remain the session's certified
+    enclosure.
     @raise Invalid_argument if [eps] is outside [(0, 1/2)] or the query
     has free variables. *)
 
@@ -112,3 +124,9 @@ val current_n : t -> int
 
 val node_count : t -> int
 (** Total nodes ever hash-consed in the session's shared manager. *)
+
+val bounds : t -> Interval.t
+(** The running certified enclosure of [P(Q)] — [\[0,1\]] before the
+    first completed step, the last step's [bounds] afterwards.  Valid at
+    any moment, including after an [Interrupted] stop: the anytime
+    guarantee the robust supervisor relies on. *)

@@ -80,6 +80,98 @@ let boolean ?max_n src ~eps phi =
     bounds = enclosure p om;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Result-returning entry points (structured errors, budgets) *)
+(* ------------------------------------------------------------------ *)
+
+let fact_source_default_max_n = 1 lsl 20 (* = Fact_source's default *)
+
+let truncation_r ?max_n src ~eps =
+  let what = "Approx_eval(" ^ Fact_source.name src ^ ")" in
+  match
+    Errors.protect ~what (fun () ->
+        check_eps eps;
+        let r = Fact_source.truncation ?max_n src (required_tail eps) in
+        let converged = r <> None || Fact_source.converges ?max_n src in
+        (r, converged))
+  with
+  | Error e -> Error e
+  | Ok (Some nt, _) -> Ok nt
+  | Ok (None, converged) ->
+    let probed_to = Option.value max_n ~default:fact_source_default_max_n in
+    if not converged then
+      Error
+        (Errors.Divergent_source { source = Fact_source.name src; probed_to })
+    else begin
+      (* The certificate exists but never drops below the bound within
+         the probe budget: the "series may converge arbitrarily slowly"
+         caveat of Section 6.  Recoverable: report the enclosure the
+         deepest certified tail still implies. *)
+      let partial =
+        match Fact_source.tail_mass src probed_to with
+        | Some t ->
+          Some
+            (enclosure_interval
+               (Interval.make 0.0 1.0)
+               (omega_bounds_of_tail t))
+        | None | (exception _) -> None
+      in
+      Error
+        (Errors.Budget_exhausted
+           {
+             what =
+               what
+               ^ ": no adequate truncation below max_n (source converges \
+                  too slowly)";
+             exhaustion = Budget.Cap Budget.Probes;
+             partial;
+           })
+    end
+
+let boolean_r ?max_n ?budget src ~eps phi =
+  let src =
+    match budget with Some b -> Fact_source.with_budget b src | None -> src
+  in
+  let tick =
+    Option.map (fun b () -> Budget.charge b Budget.Bdd_nodes 1) budget
+  in
+  match truncation_r ?max_n src ~eps with
+  | Error e -> Error e
+  | Ok (n, tail) -> (
+    let what = "Approx_eval(" ^ Fact_source.name src ^ ")" in
+    match
+      Errors.protect ~what (fun () ->
+          let table = Fact_source.truncate src n in
+          let tail =
+            match Fact_source.tail_mass src n with
+            | Some t -> Float.min t tail
+            | None | (exception Budget.Exhausted _) -> tail
+          in
+          let p = Query_eval.boolean ?tick table phi in
+          let om = omega_bounds_of_tail tail in
+          {
+            estimate = p;
+            eps;
+            n_used = n;
+            tail_mass = tail;
+            omega_n_bounds = om;
+            bounds = enclosure p om;
+          })
+    with
+    | Ok r -> Ok r
+    | Error (Errors.Budget_exhausted { what; exhaustion; partial = _ }) ->
+      (* The truncation point was certified before the budget ran out, so
+         the trivial conditional enclosure at that tail is still sound —
+         degrade with it instead of dropping to "no answer". *)
+      let partial =
+        Some
+          (enclosure_interval
+             (Interval.make 0.0 1.0)
+             (omega_bounds_of_tail tail))
+      in
+      Error (Errors.Budget_exhausted { what; exhaustion; partial })
+    | Error e -> Error e)
+
 let marginals ?max_n src ~eps phi =
   let n, _ = truncate_or_fail ?max_n src ~eps in
   let table = Fact_source.truncate src n in

@@ -39,6 +39,35 @@ val truncation_point : ?max_n:int -> Fact_source.t -> eps:float -> int option
 (** The [n(eps)] the algorithm would use; exposed for experiment E2
     (growth of [n(eps)] across decay regimes). *)
 
+(** {1 Result-returning entry points}
+
+    The same algorithm behind a structured-error interface: divergence,
+    slow convergence and resource exhaustion come back as data instead of
+    [Invalid_argument], and an optional {!Budget.t} governs the run. *)
+
+val boolean_r :
+  ?max_n:int ->
+  ?budget:Budget.t ->
+  Fact_source.t ->
+  eps:float ->
+  Fo.t ->
+  (result, Errors.t) Stdlib.result
+(** Like {!boolean}, with classified failures: [Divergent_source] when no
+    certificate exists below [max_n], [Budget_exhausted] when the source
+    converges too slowly or [budget] runs out (source accesses are
+    charged as [Facts]/[Probes], BDD allocations as [Bdd_nodes]); in the
+    budget case the error carries the best sound enclosure implied by
+    the deepest certified tail.  [Model_invalid] covers bad [eps] and
+    malformed sources. *)
+
+val truncation_r :
+  ?max_n:int ->
+  Fact_source.t ->
+  eps:float ->
+  (int * float, Errors.t) Stdlib.result
+(** The classified truncation search shared by {!boolean_r} and
+    [Completion]'s result-returning entry points. *)
+
 (** {1 Certification primitives}
 
     Shared with the incremental evaluator ({!Anytime}), which re-derives

@@ -41,6 +41,9 @@ let complete original news =
 
 let complete_ti ti news = complete (Finite_pdb.of_ti ti) news
 
+let complete_r original news =
+  Errors.protect ~what:"Completion.complete" (fun () -> complete original news)
+
 let original t = t.original
 let new_facts t = t.news
 
@@ -97,12 +100,42 @@ let omega_prob_bounds t ~n =
    [n]: certificates may answer each depth only once (mutable scan
    state), so re-asking afterwards is not an option — the same leak
    [Approx_eval.boolean] plugs. *)
+let truncation_for_r t ~eps =
+  (* The recoverable form: a tail that never certifies [eps] within the
+     probe bound is a resource exhaustion, not a malformed model — the
+     run still owns a sound (if wide) enclosure from the deepest
+     certified tail, and a supervisor can degrade instead of dying. *)
+  match
+    Errors.protect ~what:"Completion" (fun () ->
+        Fact_source.truncation t.news (Approx_eval.required_tail eps))
+  with
+  | Error e -> Error e
+  | Ok (Some nt) -> Ok nt
+  | Ok None ->
+    let partial =
+      match Fact_source.tail_mass t.news (1 lsl 20) with
+      | Some tl ->
+        Some
+          (Approx_eval.enclosure_interval
+             (Interval.make 0.0 1.0)
+             (Approx_eval.omega_bounds_of_tail tl))
+      | None | (exception _) -> None
+    in
+    Error
+      (Errors.Budget_exhausted
+         {
+           what = "Completion: tail does not certify eps";
+           exhaustion = Budget.Cap Budget.Probes;
+           partial;
+         })
+
+(* The raising wrapper stays for compatibility with existing callers. *)
 let truncation_for t ~eps =
   match Fact_source.truncation t.news (Approx_eval.required_tail eps) with
   | Some nt -> nt
   | None -> invalid_arg "Completion: tail does not certify eps"
 
-let sentence_prob_truncated t ~n phi =
+let sentence_prob_truncated ?tick t ~n phi =
   let news = Fact_source.prefix t.news n in
   let new_prob =
     List.fold_left (fun m (f, p) -> Fact.Map.add f p m) Fact.Map.empty news
@@ -119,7 +152,7 @@ let sentence_prob_truncated t ~n phi =
       | Some r -> r
       | None -> v + Hashtbl.length tbl
   in
-  let mgr = Bdd.manager ~order () in
+  let mgr = Bdd.manager ~order ?tick () in
   let bdd = Bdd.of_expr mgr lin in
   let module W = Wmc.Make (Prob.Rational_carrier) in
   List.fold_left
@@ -205,6 +238,56 @@ let query_prob t ~eps phi =
     omega_n_bounds = om_n;
     bounds = Approx_eval.enclosure p om_n;
   }
+
+let query_prob_r ?budget t ~eps phi =
+  (* Budget view: tail probes and prefix pulls of the new-fact source are
+     charged as Probes/Facts, fresh BDD nodes as Bdd_nodes.  The original
+     [t] is untouched — its caches keep serving unbudgeted callers. *)
+  let t =
+    match budget with
+    | Some b -> { t with news = Fact_source.with_budget b t.news }
+    | None -> t
+  in
+  let tick =
+    Option.map (fun b () -> Budget.charge b Budget.Bdd_nodes 1) budget
+  in
+  match truncation_for_r t ~eps with
+  | Error e -> Error e
+  | Ok (n, tail) -> (
+    match
+      Errors.protect ~what:"Completion" (fun () ->
+          let p = sentence_prob_truncated ?tick t ~n phi in
+          let tail =
+            match Fact_source.tail_mass t.news n with
+            | Some tl -> Float.min tl tail
+            | None | (exception Budget.Exhausted _) -> tail
+          in
+          let om_n = Approx_eval.omega_bounds_of_tail tail in
+          {
+            Approx_eval.estimate = p;
+            eps;
+            n_used = n;
+            tail_mass = tail;
+            omega_n_bounds = om_n;
+            bounds = Approx_eval.enclosure p om_n;
+          })
+    with
+    | Ok r -> Ok r
+    | Error (Errors.Budget_exhausted { what; exhaustion; partial = _ }) ->
+      (* The truncation was certified before exhaustion: the trivial
+         conditional enclosure at its tail is still a sound answer. *)
+      Error
+        (Errors.Budget_exhausted
+           {
+             what;
+             exhaustion;
+             partial =
+               Some
+                 (Approx_eval.enclosure_interval
+                    (Interval.make 0.0 1.0)
+                    (Approx_eval.omega_bounds_of_tail tail));
+           })
+    | Error e -> Error e)
 
 let complete_countable_ti cti news =
   if not (Fact_source.converges news) then

@@ -116,13 +116,41 @@ let create ?(name = "bid") ~blocks ~tail () =
       bexhausted = false;
     }
   in
-  if not (List.exists (fun n -> tail_mass t n <> None) [ 0; 1; 16; 1024 ]) then
+  (* First probe the raw certificate geometrically up to 2^20 — this
+     never forces the block enumeration, so a certificate that answers
+     only at depth is found without materializing thousands of blocks.
+     Only if the certificate stays silent do we fall back to the forcing
+     probe (through [tail_mass], which can detect a finite enumeration
+     that exhausts early and so has tail exactly 0). *)
+  let raw_certified =
+    let max_n = 1 lsl 20 in
+    let rec go n =
+      tail n <> None
+      || (n < max_n && go (Stdlib.min max_n (Stdlib.max 1 (2 * n))))
+    in
+    go 0
+  in
+  if
+    raw_certified
+    || List.exists (fun n -> tail_mass t n <> None) [ 0; 1; 16; 1024 ]
+  then t
+  else
     invalid_arg
       (Printf.sprintf
          "Countable_bid.create: %s has no convergence certificate (Theorem \
           4.15)"
          name)
-  else t
+
+let create_r ?name ~blocks ~tail () =
+  match Errors.protect ~what:"Countable_bid.create" (fun () ->
+      create ?name ~blocks ~tail ())
+  with
+  | Error (Errors.Model_invalid { what = _; msg })
+    when Errors.contains_substring msg "no convergence certificate" ->
+    Error
+      (Errors.Divergent_source
+         { source = Option.value name ~default:"bid"; probed_to = 1 lsl 20 })
+  | r -> r
 
 let of_finite_blocks ?(name = "bid-finite") bs =
   let arr = Array.of_list bs in

@@ -32,8 +32,20 @@ val create :
   t
 (** [tail n] bounds [sum_{i>=n} mass(B_i)] over the block enumeration.
     @raise Invalid_argument if no finite certificate exists
-    (Theorem 4.15's necessity) — probed at a few indices like
-    {!Fact_source.converges}. *)
+    (Theorem 4.15's necessity).  The certificate is probed geometrically
+    up to [2^20] {e without} forcing the block enumeration (so
+    deep-answering certificates are accepted cheaply); only if it stays
+    silent is a bounded forcing probe tried, which can still detect a
+    finite enumeration whose tail is exactly 0. *)
+
+val create_r :
+  ?name:string ->
+  blocks:block Seq.t ->
+  tail:(int -> float option) ->
+  unit ->
+  (t, Errors.t) result
+(** {!create} with classified failures ([Divergent_source] when the
+    certificate never answers). *)
 
 val of_finite_blocks : ?name:string -> block list -> t
 

@@ -14,6 +14,13 @@ let create src =
          (Fact_source.name src))
   else { src; plan = None }
 
+let create_r src =
+  if Fact_source.converges src then Ok { src; plan = None }
+  else
+    Error
+      (Errors.Divergent_source
+         { source = Fact_source.name src; probed_to = 1 lsl 20 })
+
 let source t = t.src
 
 let marginal t f = Fact_source.prob t.src f

@@ -23,6 +23,10 @@ val create : Fact_source.t -> t
 (** @raise Invalid_argument if the source does not certify convergence
     (Theorem 4.8's necessity direction). *)
 
+val create_r : Fact_source.t -> (t, Errors.t) result
+(** {!create} with the rejection as data: [Divergent_source] instead of
+    [Invalid_argument]. *)
+
 val source : t -> Fact_source.t
 
 val marginal : t -> Fact.t -> Rational.t option

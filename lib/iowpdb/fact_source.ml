@@ -245,6 +245,29 @@ let divergent_harmonic ?name ~scale ~facts () =
 let seq_of s =
   Seq.unfold (fun i -> Option.map (fun e -> (e, i + 1)) (nth s i)) 0
 
+let with_budget b s =
+  (* Charge one Facts unit per entry pulled through the wrapper and one
+     Probes unit per tail-certificate consultation; the checkpoint comes
+     first, so a budget capped at [n] units admits exactly [n] accesses
+     and raises [Budget.Exhausted] on access [n+1].  Entries already
+     cached in the wrapper are free (its [make] memoizes as usual). *)
+  let enum =
+    Seq.unfold
+      (fun i ->
+        Budget.checkpoint b;
+        Budget.spend b Budget.Facts 1;
+        Option.map (fun e -> (e, i + 1)) (nth s i))
+      0
+  in
+  make
+    ~name:("budget:" ^ s.name)
+    ~enum
+    ~tail:(fun n ->
+      Budget.checkpoint b;
+      Budget.spend b Budget.Probes 1;
+      tail_mass s n)
+    ()
+
 let append_finite entries s =
   let k = List.length entries in
   let arr = Array.of_list entries in

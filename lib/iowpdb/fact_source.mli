@@ -109,3 +109,12 @@ val map_facts : (Fact.t -> Fact.t) -> t -> t
 val interleave : t -> t -> t
 (** Fair interleaving; tails add.  Fact sets must be disjoint (validated
     lazily). *)
+
+val with_budget : Budget.t -> t -> t
+(** A view of the source whose accesses are charged against the budget:
+    one [Facts] unit per entry first pulled through the wrapper, one
+    [Probes] unit per tail-certificate consultation.  Each access
+    checkpoints first, so once the budget is exhausted the next access
+    raises [Budget.Exhausted] — the cooperative cancellation point of
+    every enumeration-driven engine.  Entries the wrapper has already
+    cached are served free of charge. *)

@@ -34,6 +34,8 @@ type result = {
   estimate : float;
   hits : int;
   samples : int;
+  samples_requested : int;
+  interrupted : bool;
   confidence : float;
   truncation_tv : float;
   wilson : Interval.t;
@@ -116,12 +118,40 @@ let widen_by_tv iv tv =
 (* The generic batched, work-stealing estimator                       *)
 (* ------------------------------------------------------------------ *)
 
-let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
+let estimate_event ?budget ?domains ?(batch_size = 1024) ?(confidence = 0.99)
     ?(truncation_tv = 0.0) ~seed ~samples sampler pred =
   if samples <= 0 then invalid_arg "Mc_eval: samples must be positive";
   if batch_size <= 0 then invalid_arg "Mc_eval: batch_size must be positive";
   if not (truncation_tv >= 0.0) then
     invalid_arg "Mc_eval: truncation_tv must be nonnegative";
+  let requested = samples in
+  (* Clamp up front to what the budget can still admit: under a [Samples]
+     cap or a [Virtual] deadline the admissible count is known before any
+     world is drawn, so a budget-truncated result is a function of the
+     budget alone, not of domain scheduling. *)
+  let samples =
+    match budget with
+    | None -> samples
+    | Some b ->
+      Budget.checkpoint b;
+      let s =
+        match Budget.cap_remaining b Budget.Samples with
+        | Some r -> Stdlib.min samples r
+        | None -> samples
+      in
+      (match Budget.time_remaining_units b with
+       | Some u -> Stdlib.min s u
+       | None -> s)
+  in
+  if samples <= 0 then begin
+    let b = Option.get budget in
+    let cause =
+      match Budget.cap_remaining b Budget.Samples with
+      | Some 0 -> Budget.Cap Budget.Samples
+      | _ -> Budget.Timeout
+    in
+    raise (Budget.Exhausted cause)
+  end;
   let z = z_of_confidence confidence in
   let nbatches = (samples + batch_size - 1) / batch_size in
   let domains =
@@ -149,18 +179,31 @@ let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
     count
   in
   let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  (* Workers poll the budget between batches — [Budget.ok] is data, never
+     an exception, so nothing crosses the [Domain] boundary.  Claims come
+     from one fetch-and-add counter and every claimed batch runs to
+     completion, so the set of finished batches is always the contiguous
+     prefix [0 .. completed), and the partial tally is a well-defined
+     sample of the first [completed * batch_size] worlds. *)
+  let budget_ok () =
+    match budget with None -> true | Some b -> Budget.ok b
+  in
   let worker () =
     (* Instrumentation stays worker-local until after the join: the
        Stats registry is not thread-safe. *)
     let worlds = ref 0 and batches = ref 0 and secs = ref 0.0 in
     let rec loop () =
-      let b = Atomic.fetch_and_add next 1 in
-      if b < nbatches then begin
-        let start = Unix.gettimeofday () in
-        worlds := !worlds + run_batch b;
-        secs := !secs +. (Unix.gettimeofday () -. start);
-        incr batches;
-        loop ()
+      if budget_ok () then begin
+        let b = Atomic.fetch_and_add next 1 in
+        if b < nbatches then begin
+          let start = Unix.gettimeofday () in
+          worlds := !worlds + run_batch b;
+          secs := !secs +. (Unix.gettimeofday () -. start);
+          incr batches;
+          Atomic.incr completed;
+          loop ()
+        end
       end
     in
     loop ();
@@ -171,20 +214,38 @@ let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
     let mine = worker () in
     mine :: List.map Domain.join spawned
   in
-  let hits = Array.fold_left ( + ) 0 hits_by_batch in
+  let done_batches = Atomic.get completed in
+  if done_batches = 0 then begin
+    (* Only reachable with a budget: the deadline passed between the
+       entry checkpoint and the first claim. *)
+    match budget with
+    | Some b ->
+      raise
+        (Budget.Exhausted
+           (Option.value (Budget.exhausted b) ~default:Budget.Timeout))
+    | None -> assert false
+  end;
+  let samples_done = Stdlib.min samples (done_batches * batch_size) in
+  let interrupted = done_batches < nbatches || samples < requested in
+  let hits =
+    let acc = ref 0 in
+    for b = 0 to done_batches - 1 do
+      acc := !acc + hits_by_batch.(b)
+    done;
+    !acc
+  in
   let width_trajectory =
-    let points = Stdlib.min nbatches 24 in
+    let points = Stdlib.min done_batches 24 in
     let checkpoints =
       List.sort_uniq compare
-        (List.init points (fun k -> ((k + 1) * nbatches / points) - 1))
+        (List.init points (fun k -> ((k + 1) * done_batches / points) - 1))
     in
-    let prefix_hits = Array.make nbatches 0 in
+    let prefix_hits = Array.make done_batches 0 in
     let acc = ref 0 in
-    Array.iteri
-      (fun i h ->
-        acc := !acc + h;
-        prefix_hits.(i) <- !acc)
-      hits_by_batch;
+    for i = 0 to done_batches - 1 do
+      acc := !acc + hits_by_batch.(i);
+      prefix_hits.(i) <- !acc
+    done;
     List.map
       (fun b ->
         let s = Stdlib.min samples ((b + 1) * batch_size) in
@@ -195,10 +256,11 @@ let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
         (s, Interval.width iv))
       checkpoints
   in
+  Option.iter (fun b -> Budget.spend b Budget.Samples samples_done) budget;
   Stats.incr c_runs;
-  Stats.add c_worlds samples;
+  Stats.add c_worlds samples_done;
   Stats.add c_hits hits;
-  Stats.add c_batches nbatches;
+  Stats.add c_batches done_batches;
   List.iteri
     (fun i (w, bt, s) ->
       Stats.add (Stats.counter (Printf.sprintf "mc.domain%d.worlds" i)) w;
@@ -206,17 +268,19 @@ let estimate_event ?domains ?(batch_size = 1024) ?(confidence = 0.99)
       Stats.add_elapsed t_batch (Float.max 0.0 s))
     per_domain;
   Stats.add_elapsed t_run (Float.max 0.0 (Unix.gettimeofday () -. t0));
-  let wilson = wilson_interval ~z ~hits ~samples in
+  let wilson = wilson_interval ~z ~hits ~samples:samples_done in
   {
-    estimate = float_of_int hits /. float_of_int samples;
+    estimate = float_of_int hits /. float_of_int samples_done;
     hits;
-    samples;
+    samples = samples_done;
+    samples_requested = requested;
+    interrupted;
     confidence;
     truncation_tv;
     wilson;
     bounds = widen_by_tv wilson truncation_tv;
     domains_used = domains;
-    batches = nbatches;
+    batches = done_batches;
     batch_size;
     width_trajectory;
   }
@@ -385,12 +449,6 @@ let compile ~tail_cut ~max_facts = function
 (* Query entry points                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let rec has_cmp = function
-  | Fo.Cmp _ -> true
-  | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> false
-  | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) -> has_cmp f
-  | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) -> has_cmp a || has_cmp b
-
 module VSet = Set.Make (Value)
 
 (* The evaluation domain is fixed once per run: adom of the plan's full
@@ -401,7 +459,7 @@ module VSet = Set.Make (Value)
    are evaluated unpadded, over the truncated-table semantics. *)
 let eval_domain_for support phi =
   let base = Fo_eval.evaluation_domain (Instance.of_list support) phi [] in
-  if has_cmp phi then base
+  if Fo.has_cmp phi then base
   else begin
     let avoid = VSet.of_list base in
     let k = Fo.quantifier_rank phi in
@@ -416,19 +474,19 @@ let eval_domain_for support phi =
     base @ choose 0
   end
 
-let boolean ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
+let boolean ?budget ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
     ?(max_facts = 4096) ?confidence ~seed ~samples space phi =
   if Fo.free_vars phi <> [] then
     invalid_arg "Mc_eval.boolean: query must be a sentence";
   let plan = compile ~tail_cut ~max_facts space in
   let extra_domain = eval_domain_for plan.support phi in
-  estimate_event ?domains ?batch_size ?confidence ~truncation_tv:plan.tv ~seed
-    ~samples plan.draw
+  estimate_event ?budget ?domains ?batch_size ?confidence
+    ~truncation_tv:plan.tv ~seed ~samples plan.draw
     (fun w -> Fo_eval.models ~extra_domain w phi)
 
-let marginal ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
+let marginal ?budget ?domains ?batch_size ?(tail_cut = ldexp 1.0 (-20))
     ?(max_facts = 4096) ?confidence ~seed ~samples space f =
   let plan = compile ~tail_cut ~max_facts space in
-  estimate_event ?domains ?batch_size ?confidence ~truncation_tv:plan.tv ~seed
-    ~samples plan.draw
+  estimate_event ?budget ?domains ?batch_size ?confidence
+    ~truncation_tv:plan.tv ~seed ~samples plan.draw
     (fun w -> Instance.mem f w)

@@ -43,7 +43,14 @@ type space =
 type result = {
   estimate : float;  (** [hits / samples] *)
   hits : int;
-  samples : int;
+  samples : int;  (** worlds actually drawn (may be below the request) *)
+  samples_requested : int;  (** the caller's [~samples] argument *)
+  interrupted : bool;
+      (** whether a budget truncated the run — either the up-front clamp
+          ([Samples] cap / [Virtual] deadline) or worker-side polling on a
+          [Wall] deadline.  The statistical fields always describe the
+          [samples] worlds actually drawn, so an interrupted result is a
+          sound (just wider) answer. *)
   confidence : float;  (** two-sided coverage level of [bounds] *)
   truncation_tv : float;
       (** certified total-variation distance between the sampled
@@ -63,6 +70,7 @@ type result = {
 }
 
 val boolean :
+  ?budget:Budget.t ->
   ?domains:int ->
   ?batch_size:int ->
   ?tail_cut:float ->
@@ -77,11 +85,15 @@ val boolean :
     [Domain.recommended_domain_count ()], [batch_size = 1024],
     [tail_cut = 2^-20], [max_facts = 4096] (per plan: prefix facts,
     blocks, or new facts of a completion), [confidence = 0.99].
+    [budget] governs the sampling phase (see {!estimate_event}); plan
+    compilation, which happens in the calling domain before any world is
+    drawn, is not charged.
     @raise Invalid_argument if the query has free variables, [samples <=
     0], [confidence] outside [(0,1)], or no truncation below [max_facts]
     certifies [tail_cut] (raise [max_facts] or loosen [tail_cut]). *)
 
 val marginal :
+  ?budget:Budget.t ->
   ?domains:int ->
   ?batch_size:int ->
   ?tail_cut:float ->
@@ -95,6 +107,7 @@ val marginal :
 (** Estimate the marginal [P(E_f)] of one fact. *)
 
 val estimate_event :
+  ?budget:Budget.t ->
   ?domains:int ->
   ?batch_size:int ->
   ?confidence:float ->
@@ -110,7 +123,20 @@ val estimate_event :
     compile such state away; a raw {!Countable_ti.sample} closure, which
     memoizes, is {e not} safe here at [domains > 1]).  [truncation_tv]
     (default 0) is folded into [bounds] like the plan-based entry
-    points do. *)
+    points do.
+
+    With [budget], the sample count is clamped {e before} the run to
+    what a [Samples] cap or a [Virtual] deadline still admits — the
+    partial result is then a function of the budget alone, bit-identical
+    across domain counts — and worker domains additionally poll
+    {!Budget.ok} between batches so a [Wall] deadline stops the run at
+    the next batch boundary.  Completed work is the contiguous batch
+    prefix, the statistical fields are computed over exactly those
+    worlds, and the drawn samples are charged as [Samples] units after
+    the run.
+    @raise Budget.Exhausted if the budget is exhausted on entry or
+    admits no samples at all — a partial result needs at least one
+    batch. *)
 
 (** {1 Statistical primitives} (exposed for tests and the bench) *)
 

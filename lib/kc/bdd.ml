@@ -19,6 +19,7 @@ let c_neg_miss = Stats.counter "bdd.neg_miss"
 
 type manager = {
   order : int -> int;
+  tick : unit -> unit; (* called once per fresh node; may raise to abort *)
   unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) -> node *)
   apply_cache : (op * int * int, t) Hashtbl.t;
   neg_cache : (int, t) Hashtbl.t;
@@ -27,9 +28,10 @@ type manager = {
 
 let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
 
-let manager ?(order = Fun.id) () =
+let manager ?(order = Fun.id) ?(tick = Fun.id) () =
   {
     order;
+    tick;
     unique = Hashtbl.create 1024;
     apply_cache = Hashtbl.create 1024;
     neg_cache = Hashtbl.create 256;
@@ -48,6 +50,7 @@ let mk m var lo hi =
       Stats.incr c_unique_hit;
       n
     | None ->
+      m.tick ();
       let n = Node { id = m.next_id; level = m.order var; var; lo; hi } in
       m.next_id <- m.next_id + 1;
       Hashtbl.add m.unique key n;

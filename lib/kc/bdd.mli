@@ -11,10 +11,16 @@
 type manager
 type t
 
-val manager : ?order:(int -> int) -> unit -> manager
+val manager : ?order:(int -> int) -> ?tick:(unit -> unit) -> unit -> manager
 (** [order] maps variable indices to levels: smaller level = closer to the
     root.  Default is the identity.  The order must be injective on the
-    variables used. *)
+    variables used.
+
+    [tick] is called once per freshly allocated node, {e before} the node
+    enters the unique table, and may raise to abort a compilation that is
+    blowing up (the manager is left consistent: the aborted node was
+    never added).  This is the hook a resource governor uses to cap BDD
+    growth without the BDD layer depending on it. *)
 
 val tru : manager -> t
 val fls : manager -> t

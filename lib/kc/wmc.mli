@@ -15,8 +15,11 @@ module Make (C : Prob.CARRIER) : sig
   (** [weight v] is the marginal probability of variable [v]; it is
       consulted only on the support. *)
 
-  val probability_expr : weight:(int -> C.t) -> Bool_expr.t -> C.t
-  (** Convenience: compile to a fresh BDD, then count. *)
+  val probability_expr :
+    ?tick:(unit -> unit) -> weight:(int -> C.t) -> Bool_expr.t -> C.t
+  (** Convenience: compile to a fresh BDD, then count.  [tick] is
+      forwarded to {!Bdd.manager}: called per fresh node, may raise to
+      abort a blowing-up compilation. *)
 end
 
 val float_probability : weight:(int -> float) -> Bool_expr.t -> float

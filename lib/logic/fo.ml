@@ -164,3 +164,9 @@ let rec is_quantifier_free = function
   | And (f, g) | Or (f, g) | Implies (f, g) ->
     is_quantifier_free f && is_quantifier_free g
   | Exists _ | Forall _ -> false
+
+let rec has_cmp = function
+  | Cmp _ -> true
+  | True | False | Atom _ | Eq _ -> false
+  | Not f | Exists (_, f) | Forall (_, f) -> has_cmp f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> has_cmp f || has_cmp g

@@ -81,3 +81,10 @@ val is_positive : t -> bool
 (** No negation or implication. *)
 
 val is_quantifier_free : t -> bool
+
+val has_cmp : t -> bool
+(** Whether the built-in order [Cmp] occurs anywhere.  [Cmp] breaks the
+    interchangeability of inert padding values, so engines that pad the
+    evaluation domain (anytime intersection, Monte-Carlo plans, the
+    robust supervisor's cross-engine enclosure intersection) consult
+    this before combining certificates across truncation depths. *)

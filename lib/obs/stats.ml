@@ -61,6 +61,9 @@ let snapshot () =
 let find snap name =
   match List.assoc_opt name snap with Some v -> v | None -> 0.0
 
+let by_prefix snap prefix =
+  List.filter (fun (n, _) -> String.starts_with ~prefix n) snap
+
 let diff later earlier =
   let names =
     List.sort_uniq String.compare (List.map fst later @ List.map fst earlier)

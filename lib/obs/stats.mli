@@ -58,6 +58,10 @@ val diff : snapshot -> snapshot -> snapshot
 val find : snapshot -> string -> float
 (** 0 when absent. *)
 
+val by_prefix : snapshot -> string -> snapshot
+(** Entries whose name starts with the prefix, in snapshot order — e.g.
+    [by_prefix snap "robust."] for one subsystem's view. *)
+
 val reset : unit -> unit
 (** Zero every registered counter and timer (the registry itself — the
     set of names — is preserved). *)

@@ -61,3 +61,17 @@ val ti_simulation : t -> Ti_table.t * (string * Fo.t) list
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** {1 Text format} *)
+
+val of_lines : ?file:string -> string list -> t
+(** Parses the format {!to_string} emits — one block per line,
+    [block_id: R(args) p | S(args) q]; blank lines and [#] comments
+    ignored.  Malformed lines are reported with [file] (when given) and
+    a 1-based line number; a fact repeated within a block with the same
+    probability collapses, with a different probability it is rejected.
+    @raise Invalid_argument on parse errors. *)
+
+val of_file : string -> t
+(** Reads and parses a whole file.  The file descriptor is released even
+    when parsing raises. *)

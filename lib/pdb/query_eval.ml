@@ -27,12 +27,12 @@ let c_bdd_fallback = Stats.counter "query.bdd_fallback"
 module Make (C : Prob.CARRIER) = struct
   let weight_of_table ti f = C.of_rational (Ti_table.prob ti f)
 
-  let boolean_bdd ti phi =
+  let boolean_bdd ?tick ti phi =
     require_sentence phi;
     let a = alphabet_of_ti ti in
     let lin = Lineage.of_sentence a phi in
     let module W = Wmc.Make (C) in
-    W.probability_expr
+    W.probability_expr ?tick
       ~weight:(fun v -> weight_of_table ti (Lineage.fact_of_var a v))
       lin
 
@@ -44,14 +44,14 @@ module Make (C : Prob.CARRIER) = struct
       ~facts:(Ti_table.support ti)
       phi
 
-  let boolean ti phi =
+  let boolean ?tick ti phi =
     match boolean_safe ti phi with
     | Some p ->
       Stats.incr c_safe_plan;
       p
     | None ->
       Stats.incr c_bdd_fallback;
-      boolean_bdd ti phi
+      boolean_bdd ?tick ti phi
 end
 
 module Exact = Make (Prob.Rational_carrier)
@@ -72,9 +72,9 @@ let boolean_enum ti phi =
       else acc)
     Rational.zero (Ti_table.worlds ti)
 
-let boolean_bdd_rational = Exact.boolean_bdd
-let boolean_bdd_float = Fast.boolean_bdd
-let boolean_bdd_interval = Certified.boolean_bdd
+let boolean_bdd_rational ti phi = Exact.boolean_bdd ti phi
+let boolean_bdd_float ti phi = Fast.boolean_bdd ti phi
+let boolean_bdd_interval ti phi = Certified.boolean_bdd ti phi
 let boolean_safe = Exact.boolean_safe
 let boolean = Exact.boolean
 

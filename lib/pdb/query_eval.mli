@@ -60,9 +60,11 @@ val boolean_karp_luby :
     monotone (the query uses negation/implication in an essential way) or
     its DNF exceeds the internal clause bound. *)
 
-val boolean : Ti_table.t -> Fo.t -> Rational.t
+val boolean : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> Rational.t
 (** The default exact engine: safe plan when applicable, lineage + BDD
-    otherwise. *)
+    otherwise.  [tick] is forwarded to the BDD manager of the fallback
+    (called per fresh node; may raise to abort a blow-up — safe plans
+    never tick). *)
 
 (** {1 Boolean queries on explicit world tables} *)
 
@@ -86,7 +88,7 @@ val marginals_finite : Finite_pdb.t -> Fo.t -> (Tuple.t * Rational.t) list
 module Make (C : Prob.CARRIER) : sig
   val weight_of_table : Ti_table.t -> Fact.t -> C.t
 
-  val boolean_bdd : Ti_table.t -> Fo.t -> C.t
+  val boolean_bdd : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> C.t
   val boolean_safe : Ti_table.t -> Fo.t -> C.t option
-  val boolean : Ti_table.t -> Fo.t -> C.t
+  val boolean : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> C.t
 end

@@ -110,30 +110,79 @@ let to_channel oc t =
   output_string oc (to_string t);
   output_char oc '\n'
 
-let of_lines lines =
-  let entries =
-    List.filter_map
-      (fun line ->
-        let line = String.trim line in
-        if line = "" || line.[0] = '#' then None
-        else begin
-          (* The probability is the text after the closing parenthesis. *)
-          match String.rindex_opt line ')' with
-          | None ->
-            invalid_arg (Printf.sprintf "Ti_table.of_lines: no fact in %S" line)
-          | Some i ->
-            let fact_str = String.sub line 0 (i + 1) in
-            let prob_str =
-              String.trim (String.sub line (i + 1) (String.length line - i - 1))
-            in
-            if prob_str = "" then
-              invalid_arg
-                (Printf.sprintf "Ti_table.of_lines: missing probability in %S" line)
-            else Some (Fact.of_string fact_str, Rational.of_string prob_str)
-        end)
-      lines
+let located ?file ~line msg =
+  let where =
+    match file with
+    | Some f -> Printf.sprintf "%s:%d" f line
+    | None -> Printf.sprintf "line %d" line
   in
-  create entries
+  invalid_arg (Printf.sprintf "Ti_table.of_lines: %s: %s" where msg)
+
+let of_lines ?file lines =
+  (* Line numbers are 1-based over the input as given (comments and blank
+     lines count), so errors point at the line an editor shows. *)
+  let entries =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           let lnum = i + 1 in
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then []
+           else begin
+             (* The probability is the text after the closing parenthesis. *)
+             match String.rindex_opt line ')' with
+             | None ->
+               located ?file ~line:lnum
+                 (Printf.sprintf "no fact in %S" line)
+             | Some i ->
+               let fact_str = String.sub line 0 (i + 1) in
+               let prob_str =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if prob_str = "" then
+                 located ?file ~line:lnum
+                   (Printf.sprintf "missing probability in %S" line);
+               let f =
+                 try Fact.of_string fact_str
+                 with Invalid_argument m | Failure m ->
+                   located ?file ~line:lnum m
+               in
+               let p =
+                 match Rational.of_string_opt prob_str with
+                 | Some p -> p
+                 | None ->
+                   located ?file ~line:lnum
+                     (Printf.sprintf "bad probability %S" prob_str)
+               in
+               if not (Rational.is_probability p) then
+                 located ?file ~line:lnum
+                   (Printf.sprintf "probability %s out of range for %s"
+                      (Rational.to_string p) (Fact.to_string f));
+               [ (f, p, lnum) ]
+           end)
+         lines)
+  in
+  (* Duplicate policy: repeating a fact with the same probability is
+     harmless redundancy and collapses; repeating it with a different one
+     is a contradiction and is rejected with both line numbers. *)
+  let _, deduped =
+    List.fold_left
+      (fun (seen, acc) (f, p, lnum) ->
+        match Fact.Map.find_opt f seen with
+        | None -> (Fact.Map.add f (p, lnum) seen, (f, p) :: acc)
+        | Some (p0, l0) ->
+          if Rational.equal p p0 then (seen, acc)
+          else
+            located ?file ~line:lnum
+              (Printf.sprintf
+                 "duplicate fact %s with probability %s (already %s at line \
+                  %d)"
+                 (Fact.to_string f) (Rational.to_string p)
+                 (Rational.to_string p0) l0))
+      (Fact.Map.empty, []) entries
+  in
+  create (List.rev deduped)
 
 let of_file path =
   let ic = open_in path in
@@ -146,4 +195,4 @@ let of_file path =
         | line -> lines (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      of_lines (lines []))
+      of_lines ~file:path (lines []))

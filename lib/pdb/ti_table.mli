@@ -63,8 +63,12 @@ val pp : Format.formatter -> t -> unit
 val to_channel : out_channel -> t -> unit
 (** One fact per line: [R(args...) p] with [p] rational or decimal. *)
 
-val of_lines : string list -> t
+val of_lines : ?file:string -> string list -> t
 (** Parses the same format; blank lines and [#] comments ignored.
+    Malformed lines are reported with [file] (when given) and a 1-based
+    line number.  A fact repeated with the same probability collapses to
+    one entry; repeated with a different probability it is rejected,
+    citing both lines.
     @raise Invalid_argument on parse errors. *)
 
 val of_file : string -> t

@@ -1,0 +1,148 @@
+(* Deterministic fault injection on fact sources.
+
+   The schedule is a pure function of (seed, access index): entry i's
+   fault decisions come from Prng.substream (substream root 0) i, tail
+   probe n's from Prng.substream (substream root 1) n.  Each fault fires
+   at most once per index (tracked in a mutable table), so the source
+   seen across retries is the original one and every certificate
+   computed from surviving accesses is genuine. *)
+
+type config = {
+  seed : int;
+  transient : float;
+  stall : float;
+  stall_seconds : float;
+  bad_prob : float;
+  nan_tail : float;
+  tail_blackout : float;
+}
+
+let none =
+  {
+    seed = 0;
+    transient = 0.0;
+    stall = 0.0;
+    stall_seconds = 0.0;
+    bad_prob = 0.0;
+    nan_tail = 0.0;
+    tail_blackout = 0.0;
+  }
+
+let default ~seed =
+  {
+    seed;
+    transient = 0.2;
+    stall = 0.05;
+    stall_seconds = 0.001;
+    bad_prob = 0.05;
+    nan_tail = 0.1;
+    tail_blackout = 0.1;
+  }
+
+let validate cfg =
+  let rate what r =
+    if not (r >= 0.0 && r <= 1.0) then
+      invalid_arg
+        (Printf.sprintf "Faulty_source: %s rate %g outside [0, 1]" what r)
+  in
+  rate "transient" cfg.transient;
+  rate "stall" cfg.stall;
+  rate "bad_prob" cfg.bad_prob;
+  rate "nan_tail" cfg.nan_tail;
+  rate "tail_blackout" cfg.tail_blackout;
+  if not (cfg.stall_seconds >= 0.0) then
+    invalid_arg "Faulty_source: stall_seconds must be nonnegative"
+
+exception Transient of string
+
+let c_transient = Stats.counter "robust.faults.transient"
+let c_stall = Stats.counter "robust.faults.stall"
+let c_corrupt = Stats.counter "robust.faults.corrupt"
+let c_tail_nan = Stats.counter "robust.faults.tail_nan"
+let c_tail_blackout = Stats.counter "robust.faults.tail_blackout"
+
+(* Streams 0 and 1 of the root separate entry faults from tail faults;
+   the draw order within a substream is fixed, so adding a fault kind
+   later would change schedules — append draws, never reorder. *)
+let entry_schedule cfg i =
+  let g = Prng.substream (Prng.substream (Prng.create ~seed:cfg.seed ()) 0) i in
+  let transient = Prng.float g < cfg.transient in
+  let stall = Prng.float g < cfg.stall in
+  let corrupt = Prng.float g < cfg.bad_prob in
+  (transient, stall, corrupt)
+
+let tail_schedule cfg n =
+  let g = Prng.substream (Prng.substream (Prng.create ~seed:cfg.seed ()) 1) n in
+  let nan = Prng.float g < cfg.nan_tail in
+  let blackout = Prng.float g < cfg.tail_blackout in
+  (nan, blackout)
+
+let entry_faults cfg i =
+  let transient, stall, corrupt = entry_schedule cfg i in
+  List.filter_map Fun.id
+    [
+      (if transient then Some "transient" else None);
+      (if stall then Some "stall" else None);
+      (if corrupt then Some "corrupt" else None);
+    ]
+
+let tail_faults cfg n =
+  let nan, blackout = tail_schedule cfg n in
+  List.filter_map Fun.id
+    [
+      (if nan then Some "nan" else None);
+      (if blackout then Some "blackout" else None);
+    ]
+
+let wrap cfg src =
+  validate cfg;
+  (* (fault kind, index) -> already fired.  Shared by the enum and the
+     tail, and living as long as the wrapped source, so a fault fires at
+     most once no matter which engine (or which retry) hits it. *)
+  let fired : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let once kind i =
+    if Hashtbl.mem fired (kind, i) then false
+    else begin
+      Hashtbl.add fired (kind, i) ();
+      true
+    end
+  in
+  let name = Fact_source.name src in
+  let enum =
+    Seq.unfold
+      (fun i ->
+        let transient, stall, corrupt = entry_schedule cfg i in
+        if transient && once 0 i then begin
+          Stats.incr c_transient;
+          raise
+            (Transient
+               (Printf.sprintf "injected transient fault at entry %d of %s" i
+                  name))
+        end;
+        if corrupt && once 1 i then begin
+          Stats.incr c_corrupt;
+          invalid_arg
+            (Printf.sprintf
+               "Fact_source %s: injected corrupt probability at entry %d" name
+               i)
+        end;
+        if stall && once 2 i then begin
+          Stats.incr c_stall;
+          if cfg.stall_seconds > 0.0 then Unix.sleepf cfg.stall_seconds
+        end;
+        Option.map (fun e -> (e, i + 1)) (Fact_source.nth src i))
+      0
+  in
+  let tail n =
+    let nan, blackout = tail_schedule cfg n in
+    if nan && once 3 n then begin
+      Stats.incr c_tail_nan;
+      Some Float.nan
+    end
+    else if blackout && once 4 n then begin
+      Stats.incr c_tail_blackout;
+      None
+    end
+    else Fact_source.tail_mass src n
+  in
+  Fact_source.make ~name:("faulty:" ^ name) ~enum ~tail ()

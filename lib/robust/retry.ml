@@ -1,0 +1,77 @@
+(* Capped exponential backoff with deterministic jitter.
+
+   The delay schedule is a pure function of (policy, seed): attempt [i]
+   sleeps min(max_delay, base * multiplier^i) scaled by a jitter factor
+   drawn from [Prng.substream root i].  Nothing reads the wall clock or
+   a global generator, so a retried computation is bit-reproducible —
+   the property the fault-injection suite pins down. *)
+
+let c_attempts = Stats.counter "robust.retry.attempts"
+let c_retries = Stats.counter "robust.retry.retries"
+let c_gave_up = Stats.counter "robust.retry.gave_up"
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_policy =
+  { max_attempts = 4; base_delay = 0.01; multiplier = 2.0; max_delay = 1.0;
+    jitter = 0.25 }
+
+let validate p =
+  if p.max_attempts < 1 then
+    invalid_arg "Retry: max_attempts must be at least 1";
+  if not (p.base_delay >= 0.0) then
+    invalid_arg "Retry: base_delay must be nonnegative";
+  if not (p.multiplier >= 1.0) then
+    invalid_arg "Retry: multiplier must be at least 1";
+  if not (p.max_delay >= 0.0) then
+    invalid_arg "Retry: max_delay must be nonnegative";
+  if not (p.jitter >= 0.0 && p.jitter <= 1.0) then
+    invalid_arg "Retry: jitter must lie in [0, 1]"
+
+let delays policy ~seed =
+  validate policy;
+  let root = Prng.create ~seed () in
+  List.init
+    (policy.max_attempts - 1)
+    (fun i ->
+      let raw =
+        Float.min policy.max_delay
+          (policy.base_delay *. (policy.multiplier ** float_of_int i))
+      in
+      let u = Prng.float (Prng.substream root i) in
+      raw *. (1.0 -. policy.jitter +. (2.0 *. policy.jitter *. u)))
+
+type 'a outcome = ('a, Errors.t) result
+
+let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ?budget
+    ?(retryable = fun _ -> true) ~what ~seed f =
+  validate policy;
+  let delays = delays policy ~seed in
+  let budget_ok () =
+    match budget with None -> true | Some b -> Budget.ok b
+  in
+  let rec go attempt delays =
+    Stats.incr c_attempts;
+    match Errors.protect ~what f with
+    | Ok v -> Ok v
+    | Error e -> (
+      let try_again =
+        retryable e && attempt < policy.max_attempts && budget_ok ()
+      in
+      match (try_again, delays) with
+      | true, d :: rest ->
+        Stats.incr c_retries;
+        if d > 0.0 then sleep d;
+        go (attempt + 1) rest
+      | _ ->
+        if retryable e && attempt >= policy.max_attempts then
+          Stats.incr c_gave_up;
+        Error e)
+  in
+  go 1 delays

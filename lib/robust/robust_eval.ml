@@ -1,0 +1,247 @@
+(* The resource-governed supervisor: degradation ladder
+   exact -> anytime -> Monte-Carlo under one shared budget.
+
+   Soundness invariants, in one place:
+
+   - only {e certified} enclosures enter the pool: a completed
+     Approx_eval run, an anytime session's running bounds (valid even
+     when [Interrupted]), or the partial enclosure a [Budget_exhausted]
+     error carries.  Monte-Carlo intervals are statistical and only ever
+     refine the point estimate.
+   - pooled certificates are combined by intersection, which is sound
+     because every pooled certificate bounds the same limit probability;
+     for [Cmp] queries — where certificates at different truncation
+     depths speak about different semantics — the anytime rung is
+     skipped and only the exact rung (whose conditional-probability
+     argument needs no padding) contributes.
+   - an empty pool yields the trivial [0,1]: wide, never wrong.
+
+   Determinism: rung seeds are [seed + rung index], the default [sleep]
+   is a no-op, and Monte-Carlo results are domain-count independent by
+   construction, so under a [Virtual]-clock budget the whole answer —
+   provenance string included — is bit-identical across runs. *)
+
+type engine = Exact | Anytime | Monte_carlo
+
+let engine_to_string = function
+  | Exact -> "exact"
+  | Anytime -> "anytime"
+  | Monte_carlo -> "monte-carlo"
+
+type outcome =
+  | Certified of Interval.t
+  | Partial of Interval.t * Errors.t
+  | Estimated of Interval.t * float
+  | Failed of Errors.t
+  | Skipped of string
+
+type attempt = { engine : engine; tries : int; outcome : outcome }
+
+type provenance = {
+  attempts : attempt list;
+  stopped : string;
+  budget : string;
+}
+
+type answer = {
+  enclosure : Interval.t;
+  estimate : float;
+  provenance : provenance;
+}
+
+let c_queries = Stats.counter "robust.queries"
+let c_degradations = Stats.counter "robust.degradations"
+let c_budget_exhausted = Stats.counter "robust.budget_exhausted"
+
+(* Same registry entry Retry.run bumps; read before/after a rung to
+   attribute attempts to it. *)
+let c_retry_attempts = Stats.counter "robust.retry.attempts"
+let t_query = Stats.timer "robust.query"
+
+let iv_to_string iv =
+  Printf.sprintf "[%.9g, %.9g]" (Interval.lo iv) (Interval.hi iv)
+
+let outcome_to_string = function
+  | Certified iv -> "certified " ^ iv_to_string iv
+  | Partial (iv, e) ->
+    Printf.sprintf "partial %s after %s" (iv_to_string iv) (Errors.to_string e)
+  | Estimated (iv, est) ->
+    Printf.sprintf "estimate %.9g in %s" est (iv_to_string iv)
+  | Failed e -> "failed: " ^ Errors.to_string e
+  | Skipped why -> "skipped: " ^ why
+
+let provenance_to_string p =
+  String.concat "\n"
+    (List.map
+       (fun a ->
+         Printf.sprintf "%-11s tries=%d %s" (engine_to_string a.engine)
+           a.tries
+           (outcome_to_string a.outcome))
+       p.attempts
+    @ [ "stopped: " ^ p.stopped; "budget: " ^ p.budget ])
+
+let answer_to_string a =
+  Printf.sprintf "P(Q) in %s (width %.9g), estimate %.9g\n%s"
+    (iv_to_string a.enclosure)
+    (Interval.width a.enclosure)
+    a.estimate
+    (provenance_to_string a.provenance)
+
+let top = Interval.make 0.0 1.0
+
+let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
+    ?(mc_samples = 20_000) ?(policy = Retry.default_policy)
+    ?(sleep = fun (_ : float) -> ()) ?(domains = 1) ?(seed = 0) src phi =
+  if not (eps > 0.0 && eps < 0.5) then
+    invalid_arg "Robust_eval.query: eps must lie in (0, 1/2)";
+  if Fo.free_vars phi <> [] then
+    invalid_arg "Robust_eval.query: query must be a sentence";
+  let parent = match budget with Some b -> b | None -> Budget.unlimited () in
+  Stats.incr c_queries;
+  Stats.time t_query (fun () ->
+      let cmp = Fo.has_cmp phi in
+      let goal = 2.0 *. eps in
+      let certified = ref [] in
+      let pool iv = certified := iv :: !certified in
+      let current () =
+        match List.rev !certified with
+        | [] -> top
+        | iv :: rest ->
+          List.fold_left
+            (fun acc iv ->
+              match Interval.intersect acc iv with
+              | Some x -> x
+              (* Disjoint certificates would mean an engine bug; keep the
+                 narrower one rather than fabricating an empty set. *)
+              | None ->
+                if Interval.width iv < Interval.width acc then iv else acc)
+            iv rest
+      in
+      let retryable = function
+        | Errors.Engine_failure _ | Errors.Divergent_source _ -> true
+        | Errors.Parse _ | Errors.Model_invalid _ | Errors.Budget_exhausted _
+          ->
+          false
+      in
+      let run_retried ~what ~rung f =
+        let before = Stats.count c_retry_attempts in
+        let r =
+          Retry.run ~policy ~sleep ~budget:parent ~retryable ~what
+            ~seed:(seed + rung) f
+        in
+        (Stdlib.max 1 (Stats.count c_retry_attempts - before), r)
+      in
+      let attempts = ref [] in
+      let rung eng skip runner =
+        match skip () with
+        | Some why ->
+          attempts := { engine = eng; tries = 0; outcome = Skipped why } :: !attempts
+        | None ->
+          let tries, outcome = runner () in
+          (match outcome with
+          | Failed _ | Partial _ -> Stats.incr c_degradations
+          | Certified _ | Estimated _ | Skipped _ -> ());
+          attempts := { engine = eng; tries; outcome } :: !attempts
+      in
+      let common_skip () =
+        if Interval.width (current ()) <= goal then Some "already converged"
+        else if not (Budget.ok parent) then Some "budget exhausted"
+        else None
+      in
+      rung Exact common_skip (fun () ->
+          let tries, r =
+            run_retried ~what:"robust.exact" ~rung:0 (fun () ->
+                (* Kind caps are per-attempt child budgets: a blown node
+                   cap fails this attempt, not the whole ladder. *)
+                let b = Budget.child ?max_bdd_nodes ?max_facts parent in
+                match Approx_eval.boolean_r ~budget:b src ~eps phi with
+                | Ok res -> res.Approx_eval.bounds
+                | Error e -> Errors.raise_error e)
+          in
+          match r with
+          | Ok iv ->
+            pool iv;
+            (tries, Certified iv)
+          | Error (Errors.Budget_exhausted { partial = Some iv; _ } as e) ->
+            pool iv;
+            (tries, Partial (iv, e))
+          | Error e -> (tries, Failed e));
+      rung Anytime
+        (fun () ->
+          if cmp then
+            Some "Cmp query: anytime certificates target truncated semantics"
+          else common_skip ())
+        (fun () ->
+          let tries, r =
+            run_retried ~what:"robust.anytime" ~rung:1 (fun () ->
+                let b = Budget.child ?max_bdd_nodes ?max_facts parent in
+                let s = Anytime.create ~eps ~budget:b src phi in
+                let reason, _ = Anytime.run s in
+                (reason, Anytime.bounds s))
+          in
+          match r with
+          | Ok (Anytime.Interrupted cause, iv) ->
+            pool iv;
+            ( tries,
+              Partial
+                ( iv,
+                  Errors.Budget_exhausted
+                    {
+                      what = "Robust_eval: anytime session interrupted";
+                      exhaustion = cause;
+                      partial = Some iv;
+                    } ) )
+          | Ok (_, iv) ->
+            pool iv;
+            (tries, Certified iv)
+          | Error e -> (tries, Failed e));
+      rung Monte_carlo common_skip (fun () ->
+          let tries, r =
+            run_retried ~what:"robust.mc" ~rung:2 (fun () ->
+                let cti =
+                  match Countable_ti.create_r src with
+                  | Ok t -> t
+                  | Error e -> Errors.raise_error e
+                in
+                Mc_eval.boolean ~budget:parent ~domains ~seed
+                  ~samples:mc_samples (Mc_eval.Ti cti) phi)
+          in
+          match r with
+          | Ok res ->
+            (tries, Estimated (res.Mc_eval.bounds, res.Mc_eval.estimate))
+          | Error e -> (tries, Failed e));
+      let enclosure = current () in
+      let stopped =
+        if Interval.width enclosure <= goal then "converged"
+        else begin
+          match Budget.exhausted parent with
+          | Some cause ->
+            Stats.incr c_budget_exhausted;
+            Printf.sprintf "budget exhausted (%s)"
+              (Budget.exhaustion_to_string cause)
+          | None -> "ladder exhausted"
+        end
+      in
+      let estimate =
+        let mc =
+          List.find_map
+            (fun a ->
+              match a.outcome with Estimated (_, e) -> Some e | _ -> None)
+            !attempts
+        in
+        match mc with
+        | Some e ->
+          Float.max (Interval.lo enclosure)
+            (Float.min (Interval.hi enclosure) e)
+        | None -> Interval.mid enclosure
+      in
+      {
+        enclosure;
+        estimate;
+        provenance =
+          {
+            attempts = List.rev !attempts;
+            stopped;
+            budget = Budget.describe parent;
+          };
+      })

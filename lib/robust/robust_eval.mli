@@ -1,0 +1,93 @@
+(** The resource-governed evaluation supervisor: one entry point that
+    runs the degradation ladder {e exact → anytime → Monte-Carlo} under a
+    single shared {!Budget.t}, retries transient faults with
+    {!Retry.run}, and always returns the narrowest {e certified}
+    enclosure it obtained, together with provenance saying which engines
+    ran, why each stopped, and what the budget saw.
+
+    Soundness contract: {!answer.enclosure} always contains the true
+    [P(Q)].  Each certified rung (exact truncation, anytime session)
+    produces a sound enclosure even when interrupted — the engines were
+    built so that a budget trip surfaces the last {e completed}
+    certificate — and rungs are combined by intersection only for
+    [Cmp]-free queries (where {!Fo.has_cmp} says all certificates bound
+    the same limit probability); otherwise the narrowest single
+    certificate is kept.  The Monte-Carlo rung is statistical, so it only
+    refines {!answer.estimate}, never the enclosure.  With no surviving
+    certificate the enclosure is the trivial [\[0,1\]] — wide, never
+    wrong.
+
+    Determinism: with a [Virtual]-clock budget, the default no-op
+    [sleep], and a fixed [seed], the answer {e and} its rendered
+    provenance are bit-identical across runs and domain counts, including
+    under any {!Faulty_source} schedule. *)
+
+type engine = Exact | Anytime | Monte_carlo
+
+val engine_to_string : engine -> string
+
+type outcome =
+  | Certified of Interval.t  (** the rung completed with this enclosure *)
+  | Partial of Interval.t * Errors.t
+      (** the rung was cut short (budget) but salvaged this sound,
+          wider-than-hoped enclosure *)
+  | Estimated of Interval.t * float
+      (** Monte-Carlo: a confidence interval and point estimate —
+          statistical, kept out of the certified enclosure *)
+  | Failed of Errors.t
+  | Skipped of string
+
+type attempt = {
+  engine : engine;
+  tries : int;  (** attempts made, including retries; 0 when skipped *)
+  outcome : outcome;
+}
+
+type provenance = {
+  attempts : attempt list;  (** chronological, one per ladder rung *)
+  stopped : string;  (** why the ladder ended *)
+  budget : string;  (** {!Budget.describe} after the run *)
+}
+
+val provenance_to_string : provenance -> string
+(** Multi-line rendering; deterministic (no wall-clock readings). *)
+
+type answer = {
+  enclosure : Interval.t;  (** certified; contains the true [P(Q)] *)
+  estimate : float;
+      (** best point estimate: the Monte-Carlo estimate clamped into the
+          enclosure when that rung ran, the enclosure midpoint
+          otherwise *)
+  provenance : provenance;
+}
+
+val answer_to_string : answer -> string
+
+val query :
+  ?budget:Budget.t ->
+  ?eps:float ->
+  ?max_bdd_nodes:int ->
+  ?max_facts:int ->
+  ?mc_samples:int ->
+  ?policy:Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?domains:int ->
+  ?seed:int ->
+  Fact_source.t ->
+  Fo.t ->
+  answer
+(** Evaluate a Boolean query.  Defaults: [budget] unlimited,
+    [eps = 0.01], [mc_samples = 20_000], [policy =
+    Retry.default_policy], [sleep] a no-op (pass [Unix.sleepf] to
+    actually back off), [domains = 1] (Monte-Carlo parallelism),
+    [seed = 0].
+
+    [budget] is shared by the whole ladder: timeouts and global caps set
+    on it bound the total run.  [max_bdd_nodes] / [max_facts] are
+    {e per-attempt} caps, realized as child budgets, so one rung blowing
+    its node cap does not condemn the rungs after it.  A rung whose
+    budget trips still contributes its partial certificate.
+
+    Never raises on faults or exhaustion — those come back in the
+    provenance.  @raise Invalid_argument only on caller errors: [eps]
+    outside [(0, 1/2)] or a query with free variables. *)

@@ -1,0 +1,146 @@
+(* Exit-code regressions for the command-line interface, driven through
+   Cmdliner's evaluation API (no process spawning): malformed input of
+   every stripe maps to a one-line stderr message and exit 2, budget
+   flags are honoured, and the robust subcommand keeps its never-fail
+   contract. *)
+
+(* The commands print their answers; run them against /dev/null so the
+   test log stays readable.  File descriptors are restored even when the
+   evaluation raises. *)
+let run_quiet argv =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let so = Unix.dup Unix.stdout and se = Unix.dup Unix.stderr in
+  flush stdout;
+  flush stderr;
+  Unix.dup2 devnull Unix.stdout;
+  Unix.dup2 devnull Unix.stderr;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      flush stderr;
+      Unix.dup2 so Unix.stdout;
+      Unix.dup2 se Unix.stderr;
+      Unix.close so;
+      Unix.close se;
+      Unix.close devnull)
+    (fun () -> Cli.main ~argv:(Array.of_list ("iowpdb" :: argv)) ())
+
+let with_table lines f =
+  let path = Filename.temp_file "iowpdb_cli" ".ti" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  f path
+
+let good_table = [ "R(1) 1/2"; "R(2) 1/3"; "R(3) 1/4" ]
+
+let check_exit what expected argv =
+  Alcotest.(check int) what expected (run_quiet argv)
+
+let test_query_ok () =
+  with_table good_table @@ fun t ->
+  check_exit "query succeeds" 0 [ "query"; t; "exists x. R(x)" ]
+
+let test_missing_file () =
+  check_exit "missing table file" 2
+    [ "query"; "/nonexistent/table.ti"; "exists x. R(x)" ]
+
+let test_malformed_query () =
+  with_table good_table @@ fun t ->
+  check_exit "query parse error" 2 [ "query"; t; "exists x. R(" ]
+
+let test_malformed_table () =
+  with_table [ "R(1) not-a-probability" ] @@ fun t ->
+  check_exit "bad probability" 2 [ "query"; t; "exists x. R(x)" ]
+
+let test_duplicate_fact () =
+  with_table [ "R(1) 1/2"; "R(1) 1/3" ] @@ fun t ->
+  check_exit "contradictory duplicate" 2 [ "query"; t; "exists x. R(x)" ]
+
+let test_free_variable_query () =
+  (* [query] answers free-variable queries with marginals; [robust]
+     supervises Boolean sentences only and must reject them cleanly. *)
+  with_table good_table @@ fun t ->
+  check_exit "free variable rejected" 2 [ "robust"; t; "R(x)" ]
+
+let test_bad_eps () =
+  with_table good_table @@ fun t ->
+  check_exit "eps out of range" 2
+    [ "robust"; t; "exists x. R(x)"; "--eps"; "0.9" ]
+
+let test_mc_with_budget () =
+  with_table good_table @@ fun t ->
+  check_exit "budgeted mc succeeds" 0
+    [
+      "mc"; t; "exists x. R(x)"; "--samples"; "2000"; "--virtual-rate";
+      "100000"; "--timeout"; "10";
+    ]
+
+let test_anytime_with_budget () =
+  with_table good_table @@ fun t ->
+  check_exit "budgeted anytime succeeds" 0
+    [
+      "anytime"; t; "exists x. R(x)"; "--virtual-rate"; "100000"; "--timeout";
+      "10";
+    ]
+
+let test_robust_clean () =
+  with_table good_table @@ fun t ->
+  check_exit "robust clean run" 0
+    [
+      "robust"; t; "exists x. R(x)"; "--virtual-rate"; "100000"; "--timeout";
+      "10"; "--samples"; "1000"; "--seed"; "3";
+    ]
+
+let test_robust_with_faults_never_fails () =
+  (* The supervisor contract: faults degrade the answer, they do not
+     change the exit code. *)
+  with_table good_table @@ fun t ->
+  List.iter
+    (fun seed ->
+      check_exit
+        (Printf.sprintf "robust under fault seed %d" seed)
+        0
+        [
+          "robust"; t; "exists x. R(x)"; "--virtual-rate"; "100000";
+          "--timeout"; "10"; "--samples"; "500"; "--seed"; "3";
+          "--inject-faults"; string_of_int seed;
+        ])
+    [ 1; 5; 9 ]
+
+let test_robust_tight_budget_exit_zero () =
+  with_table good_table @@ fun t ->
+  check_exit "starved budget still exits 0" 0
+    [
+      "robust"; t; "exists x. R(x)"; "--virtual-rate"; "100"; "--timeout";
+      "0.01"; "--seed"; "0";
+    ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit_codes",
+        [
+          Alcotest.test_case "query ok" `Quick test_query_ok;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "malformed query" `Quick test_malformed_query;
+          Alcotest.test_case "malformed table" `Quick test_malformed_table;
+          Alcotest.test_case "duplicate fact" `Quick test_duplicate_fact;
+          Alcotest.test_case "free variable" `Quick test_free_variable_query;
+          Alcotest.test_case "bad eps" `Quick test_bad_eps;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "mc" `Quick test_mc_with_budget;
+          Alcotest.test_case "anytime" `Quick test_anytime_with_budget;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "clean" `Quick test_robust_clean;
+          Alcotest.test_case "faults never fail" `Quick
+            test_robust_with_faults_never_fails;
+          Alcotest.test_case "tight budget" `Quick
+            test_robust_tight_budget_exit_zero;
+        ] );
+    ]

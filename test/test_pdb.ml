@@ -122,6 +122,68 @@ let test_ti_of_file_no_leak () =
   done;
   Alcotest.(check (option int)) "no fd leak" before (fd_count ())
 
+let contains = Errors.contains_substring
+
+let expect_parse_error name lines needles =
+  match Ti_table.of_lines ~file:"t.ti" lines with
+  | _ -> Alcotest.failf "%s: expected a parse error" name
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S in %S" name needle msg)
+          true (contains msg needle))
+      needles
+
+let test_ti_located_errors () =
+  (* Errors cite the file and the 1-based line an editor shows; blank
+     lines and comments count. *)
+  expect_parse_error "bad probability" [ "# header"; ""; "R(1) nope" ]
+    [ "t.ti:3"; "bad probability" ];
+  expect_parse_error "no fact" [ "R(1) 1/2"; "garbage" ] [ "t.ti:2" ];
+  expect_parse_error "out of range" [ "R(1) 3/2" ] [ "t.ti:1"; "out of range" ];
+  expect_parse_error "missing probability" [ "R(1)" ] [ "t.ti:1" ];
+  (* without a file name the location degrades to "line N" *)
+  match Ti_table.of_lines [ "R(1) nope" ] with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "line number" true (contains msg "line 1")
+
+let test_ti_duplicate_policy () =
+  (* Same fact, same probability: harmless redundancy, collapses. *)
+  let ti = Ti_table.of_lines [ "R(1) 1/2"; "R(1) 0.5" ] in
+  Alcotest.(check int) "collapsed" 1 (Ti_table.size ti);
+  check_q "kept once" (q 1 2) (Ti_table.prob ti (fact "R" [ 1 ]));
+  (* Same fact, different probability: a contradiction, rejected with
+     both line numbers. *)
+  expect_parse_error "contradictory duplicate"
+    [ "R(1) 1/2"; "# sep"; "R(1) 1/3" ]
+    [ "t.ti:3"; "duplicate fact R(1)"; "at line 1" ]
+
+let expect_bid_parse_error name lines needles =
+  match Bid_table.of_lines ~file:"b.bid" lines with
+  | _ -> Alcotest.failf "%s: expected a parse error" name
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S in %S" name needle msg)
+          true (contains msg needle))
+      needles
+
+let test_bid_parser_errors () =
+  expect_bid_parse_error "bad probability"
+    [ "# header"; "b1: R(1) nope" ]
+    [ "b.bid:2"; "bad probability" ];
+  expect_bid_parse_error "no block prefix" [ "garbage" ]
+    [ "b.bid:1"; "block_id" ];
+  expect_bid_parse_error "contradictory duplicate in block"
+    [ "b1: R(1) 1/2 | R(1) 1/3" ]
+    [ "b.bid:1"; "duplicate fact R(1)" ];
+  (* same-probability repeats collapse, mirroring Ti_table *)
+  let b = Bid_table.of_lines [ "b1: R(1) 1/4 | R(1) 1/4" ] in
+  Alcotest.(check int) "collapsed" 1 (Bid_table.size b)
+
 (* ------------------------------------------------------------------ *)
 (* Bid_table *)
 (* ------------------------------------------------------------------ *)
@@ -551,6 +613,8 @@ let () =
           Alcotest.test_case "text format" `Quick test_ti_text_format;
           Alcotest.test_case "of_file" `Quick test_ti_of_file;
           Alcotest.test_case "of_file fd leak" `Quick test_ti_of_file_no_leak;
+          Alcotest.test_case "located errors" `Quick test_ti_located_errors;
+          Alcotest.test_case "duplicate policy" `Quick test_ti_duplicate_policy;
         ] );
       ( "bid_table",
         [
@@ -563,6 +627,7 @@ let () =
           Alcotest.test_case "sampling exclusivity" `Quick
             test_bid_sampling_exclusivity;
           Alcotest.test_case "of_ti" `Quick test_bid_of_ti;
+          Alcotest.test_case "parser errors" `Quick test_bid_parser_errors;
         ] );
       ( "finite_pdb",
         [
