@@ -1,0 +1,140 @@
+(* The seed BDD kernel, frozen verbatim (minus instrumentation) as the
+   baseline for experiment E19: polymorphic hashtables with tuple keys
+   for the unique / apply / negation caches, ite expanded into three
+   binary applies, left-fold expression compilation, no GC.  Kept out of
+   lib/ on purpose — it exists only so the benchmark can report an
+   old-vs-new wall-clock ratio on identical workloads, not for use. *)
+
+type t =
+  | Leaf of bool
+  | Node of { id : int; level : int; var : int; lo : t; hi : t }
+
+type op = Op_and | Op_or | Op_xor
+
+type manager = {
+  order : int -> int;
+  unique : (int * int * int, t) Hashtbl.t;
+  apply_cache : (op * int * int, t) Hashtbl.t;
+  neg_cache : (int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
+
+let manager ?(order = Fun.id) () =
+  {
+    order;
+    unique = Hashtbl.create 1024;
+    apply_cache = Hashtbl.create 1024;
+    neg_cache = Hashtbl.create 256;
+    next_id = 2;
+  }
+
+let mk m var lo hi =
+  if id lo = id hi then lo
+  else begin
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; level = m.order var; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m v = mk m v (Leaf false) (Leaf true)
+let level = function Leaf _ -> max_int | Node n -> n.level
+
+let rec neg m t =
+  match t with
+  | Leaf b -> Leaf (not b)
+  | Node n -> (
+    match Hashtbl.find_opt m.neg_cache n.id with
+    | Some r -> r
+    | None ->
+      let r = mk m n.var (neg m n.lo) (neg m n.hi) in
+      Hashtbl.add m.neg_cache n.id r;
+      r)
+
+let apply_leaf op a b =
+  match op with Op_and -> a && b | Op_or -> a || b | Op_xor -> a <> b
+
+let rec apply m op a b =
+  match (op, a, b) with
+  | _, Leaf x, Leaf y -> Leaf (apply_leaf op x y)
+  | Op_and, Leaf false, _ | Op_and, _, Leaf false -> Leaf false
+  | Op_and, Leaf true, x | Op_and, x, Leaf true -> x
+  | Op_or, Leaf true, _ | Op_or, _, Leaf true -> Leaf true
+  | Op_or, Leaf false, x | Op_or, x, Leaf false -> x
+  | Op_xor, Leaf false, x | Op_xor, x, Leaf false -> x
+  | Op_xor, Leaf true, x | Op_xor, x, Leaf true -> neg m x
+  | _ ->
+    if (op = Op_and || op = Op_or) && id a = id b then a
+    else begin
+      let ia = id a and ib = id b in
+      let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
+      match Hashtbl.find_opt m.apply_cache key with
+      | Some r -> r
+      | None ->
+        let la = level a and lb = level b in
+        let r =
+          if la < lb then begin
+            match a with
+            | Node n -> mk m n.var (apply m op n.lo b) (apply m op n.hi b)
+            | Leaf _ -> assert false
+          end
+          else if lb < la then begin
+            match b with
+            | Node n -> mk m n.var (apply m op a n.lo) (apply m op a n.hi)
+            | Leaf _ -> assert false
+          end
+          else begin
+            match (a, b) with
+            | Node na, Node nb ->
+              mk m na.var (apply m op na.lo nb.lo) (apply m op na.hi nb.hi)
+            | _ -> assert false
+          end
+        in
+        Hashtbl.add m.apply_cache key r;
+        r
+    end
+
+let conj m a b = apply m Op_and a b
+let disj m a b = apply m Op_or a b
+let xor m a b = apply m Op_xor a b
+let ite m f g h = disj m (conj m f g) (conj m (neg m f) h)
+
+let rec of_expr m = function
+  | Bool_expr.True -> Leaf true
+  | Bool_expr.False -> Leaf false
+  | Bool_expr.Var i -> var m i
+  | Bool_expr.Not e -> neg m (of_expr m e)
+  | Bool_expr.And es ->
+    List.fold_left (fun acc e -> conj m acc (of_expr m e)) (Leaf true) es
+  | Bool_expr.Or es ->
+    List.fold_left (fun acc e -> disj m acc (of_expr m e)) (Leaf false) es
+
+let node_count m = Hashtbl.length m.unique
+
+let fold_prob ~zero ~one ~node t =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf false -> zero
+    | Leaf true -> one
+    | Node n -> (
+      match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let r = node n.var (go n.lo) (go n.hi) in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go t
+
+let float_probability ~weight t =
+  fold_prob ~zero:0.0 ~one:1.0
+    ~node:(fun v plo phi ->
+      let p = weight v in
+      (p *. phi) +. ((1.0 -. p) *. plo))
+    t

@@ -32,6 +32,34 @@ let header id title =
 
 let row fmt = Printf.kfprintf (fun oc -> flush oc) stdout fmt
 
+(* --json <dir>: after the run, write one BENCH_<id>.json per executed
+   experiment holding its wall time plus any metrics the experiment
+   recorded with [metric].  Hand-rolled writer — the sealed environment
+   has no JSON package, and flat string/float pairs need none. *)
+let json_dir : string option ref = ref None
+let metrics : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 32
+
+let metric id key value =
+  match Hashtbl.find_opt metrics id with
+  | Some l -> l := (key, value) :: !l
+  | None -> Hashtbl.add metrics id (ref [ (key, value) ])
+
+let write_json dir =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  Hashtbl.iter
+    (fun id kvs ->
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id) in
+      let oc = open_out path in
+      let fields =
+        List.map
+          (fun (k, v) -> Printf.sprintf "    %S: %.17g" k v)
+          (List.rev !kvs)
+      in
+      Printf.fprintf oc "{\n  \"id\": %S,\n  \"metrics\": {\n%s\n  }\n}\n" id
+        (String.concat ",\n" fields);
+      close_out oc)
+    metrics
+
 (* Shared sources *)
 let geo_source () =
   Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
@@ -669,14 +697,14 @@ let e16 () =
               row "    %-5d %-8d %-10.2e %-10d %-6s %-10.0f %.0f\n"
                 s.Anytime.index s.Anytime.n s.Anytime.width s.Anytime.bdd_size
                 (if s.Anytime.incremental then "delta" else "full")
-                (Stats.find s.Anytime.stats "bdd.apply_hit")
+                (Stats.find s.Anytime.stats "bdd.apply.hit")
                 (Stats.find s.Anytime.stats "bdd.nodes_allocated"))
             steps;
           let carried_hits =
             List.fold_left
               (fun acc (s : Anytime.step) ->
                 if s.Anytime.index > 1 then
-                  acc +. Stats.find s.Anytime.stats "bdd.apply_hit"
+                  acc +. Stats.find s.Anytime.stats "bdd.apply.hit"
                 else acc)
               0.0 steps
           in
@@ -849,6 +877,134 @@ let e18 () =
        (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' a1)))
 
 (* ------------------------------------------------------------------ *)
+(* E19 - BDD kernel microbenchmark: seed kernel vs packed kernel       *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload is the lineage shape exact evaluation actually produces:
+   a long independent disjunction of conjunction pairs (the lineage of a
+   Boolean two-table join), hardened with an xor parity chain and an ite
+   combine so every connective of the kernel sits on the hot path.  The
+   identical computation runs on the frozen seed kernel (Bdd_baseline,
+   polymorphic hashtable caches, derived ite, left-fold of_expr) and on
+   the current kernel; the diagrams are canonical, so the two WMC floats
+   must agree bit-for-bit, and the report is the wall-clock ratio plus
+   the new kernel's cache and node accounting. *)
+
+(* No weight equals 1/2: a fair variable inside the parity chain would
+   pin the whole workload's probability at exactly 0.5 and weaken the
+   old-vs-new equality check. *)
+let e19_weight v = float_of_int ((v mod 7) + 1) /. 9.0
+
+let e19_pairs ~lo n =
+  Bool_expr.Or
+    (List.init n (fun idx ->
+         let v = 2 * (lo + idx) in
+         Bool_expr.And [ Bool_expr.Var v; Bool_expr.Var (v + 1) ]))
+
+let e19 () =
+  header "E19" "BDD kernel: packed caches, primitive ite, GC vs seed kernel";
+  let n = if !smoke then 400 else 1_000 in
+  let reps = if !smoke then 3 else 5 in
+  let parity_vars = List.init 24 (fun idx -> 2 * idx) in
+  let expr = e19_pairs ~lo:0 n in
+  let old_run () =
+    let m = Bdd_baseline.manager () in
+    let b = Bdd_baseline.of_expr m expr in
+    let parity =
+      List.fold_left
+        (fun acc v -> Bdd_baseline.xor m acc (Bdd_baseline.var m v))
+        (Bdd_baseline.of_expr m Bool_expr.False)
+        parity_vars
+    in
+    let r = Bdd_baseline.ite m parity (Bdd_baseline.neg m b) b in
+    ( Bdd_baseline.float_probability ~weight:e19_weight r,
+      Bdd_baseline.node_count m )
+  in
+  let new_run () =
+    let m = Bdd.manager () in
+    let b = Bdd.of_expr m expr in
+    let parity =
+      List.fold_left
+        (fun acc v -> Bdd.xor m acc (Bdd.var m v))
+        (Bdd.fls m) parity_vars
+    in
+    let r = Bdd.ite m parity (Bdd.neg m b) b in
+    let p =
+      Bdd.fold_prob ~zero:0.0 ~one:1.0
+        ~node:(fun v plo phi ->
+          let w = e19_weight v in
+          (w *. phi) +. ((1.0 -. w) *. plo))
+        r
+    in
+    (p, Bdd.node_count m)
+  in
+  let timed reps f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    for _ = 2 to reps do
+      r := f ()
+    done;
+    (Unix.gettimeofday () -. t0, !r)
+  in
+  let c_hit = Stats.counter "bdd.apply.hit" in
+  let c_miss = Stats.counter "bdd.apply.miss" in
+  let hit0 = Stats.count c_hit and miss0 = Stats.count c_miss in
+  let old_t, (old_p, old_nodes) = timed reps old_run in
+  let new_t, (new_p, new_nodes) = timed reps new_run in
+  let hits = Stats.count c_hit - hit0
+  and misses = Stats.count c_miss - miss0 in
+  let speedup = old_t /. new_t in
+  row "  workload: OR of %d pairs + 24-var parity + ite + wmc, x%d reps\n" n
+    reps;
+  row "  %-24s %-12s %s\n" "kernel" "seconds" "P(lineage)";
+  row "  %-24s %-12.4f %.12g\n" "seed (baseline)" old_t old_p;
+  row "  %-24s %-12.4f %.12g\n" "packed + primitive ite" new_t new_p;
+  row "  results identical: %b   final nodes old/new: %d/%d\n"
+    (abs_float (old_p -. new_p) < 1e-12)
+    old_nodes new_nodes;
+  row "  speedup: %.2fx (acceptance >= 2x: %b)\n" speedup (speedup >= 2.0);
+  row "  op cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
+    (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+  metric "E19" "speedup" speedup;
+  metric "E19" "old_seconds" old_t;
+  metric "E19" "new_seconds" new_t;
+  metric "E19" "final_nodes" (float_of_int new_nodes);
+  metric "E19" "bdd.apply.hit" (float_of_int hits);
+  metric "E19" "bdd.apply.miss" (float_of_int misses);
+  (* Root-aware GC on a long session: recompile a drifting lineage many
+     times in one manager, protecting only the current diagram — the
+     anytime evaluator's access pattern.  With a GC threshold the live
+     count stays around one diagram's size while the allocation series
+     keeps climbing; with GC off, every dead intermediate accumulates. *)
+  let rounds = if !smoke then 8 else 40 in
+  let block = if !smoke then 120 else 400 in
+  let session gc_threshold =
+    let m = Bdd.manager ~gc_threshold () in
+    let cur = ref (Bdd.tru m) in
+    Bdd.protect !cur;
+    for r = 0 to rounds - 1 do
+      let b = Bdd.of_expr m (e19_pairs ~lo:(r * block) block) in
+      Bdd.protect b;
+      Bdd.release !cur;
+      cur := b;
+      ignore (Bdd.maybe_gc m)
+    done;
+    (Bdd.node_count m, Bdd.peak_count m, Bdd.allocated_count m)
+  in
+  let live_gc, peak_gc, alloc_gc = session (1 lsl 12) in
+  let live_off, _, alloc_off = session max_int in
+  row "\n  %d-round recompile session, %d pairs/round, one manager:\n" rounds
+    block;
+  row "  %-24s %-10s %-10s %s\n" "gc" "live" "peak" "allocated";
+  row "  %-24s %-10d %-10d %d\n" "threshold 4096" live_gc peak_gc alloc_gc;
+  row "  %-24s %-10d %-10d %d\n" "off" live_off live_off alloc_off;
+  row "  live bounded under GC: %b\n" (live_gc * 4 < live_off);
+  metric "E19" "gc_live" (float_of_int live_gc);
+  metric "E19" "gc_peak" (float_of_int peak_gc);
+  metric "E19" "gc_allocated" (float_of_int alloc_gc);
+  metric "E19" "nogc_live" (float_of_int live_off)
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -857,17 +1013,22 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
+    ("E19", e19);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
-let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18" ]
+let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19" ]
 
 let () =
   let args = Array.to_list Sys.argv in
   smoke := List.mem "--smoke" args;
+  (match List.find_index (fun a -> a = "--json") args with
+  | Some idx when idx + 1 < List.length args ->
+    json_dir := Some (List.nth args (idx + 1))
+  | _ -> ());
   let only =
     match List.find_index (fun a -> a = "--only") args with
     | Some idx when idx + 1 < List.length args ->
@@ -878,7 +1039,14 @@ let () =
   let wanted id =
     match only with None -> true | Some ids -> List.mem id ids
   in
-  List.iter (fun (id, f) -> if wanted id then f ()) experiments;
-  if not no_timing then
-    List.iter (fun (id, f) -> if wanted id then f ()) timing_experiments;
+  let run_one (id, f) =
+    if wanted id then begin
+      let t0 = Unix.gettimeofday () in
+      f ();
+      metric id "seconds" (Unix.gettimeofday () -. t0)
+    end
+  in
+  List.iter run_one experiments;
+  if not no_timing then List.iter run_one timing_experiments;
+  (match !json_dir with Some dir -> write_json dir | None -> ());
   print_newline ()

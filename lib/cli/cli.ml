@@ -133,6 +133,26 @@ let max_facts_arg =
     & info [ "max-facts" ] ~docv:"N"
         ~doc:"Cap on facts pulled from the source.")
 
+(* BDD kernel tuning, shared by query / anytime / robust. *)
+let bdd_cache_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "bdd-cache-size" ] ~docv:"N"
+        ~doc:
+          "Entries in the BDD kernel's direct-mapped operation cache \
+           (rounded up to a power of two).")
+
+let bdd_gc_threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "bdd-gc-threshold" ] ~docv:"N"
+        ~doc:
+          "Run a BDD garbage collection once N nodes have been allocated \
+           since the previous one; collected nodes are refunded to the \
+           node budget, so caps govern live nodes.")
+
 let make_budget ?max_bdd_nodes ?max_facts ~timeout ~virtual_rate () =
   if
     timeout = None && virtual_rate = None && max_bdd_nodes = None
@@ -143,13 +163,16 @@ let make_budget ?max_bdd_nodes ?max_facts ~timeout ~virtual_rate () =
     Some (Budget.create ?clock ?timeout ?max_bdd_nodes ?max_facts ())
   end
 
-let run_query table query stats =
+let run_query table query bdd_cache_size bdd_gc_threshold stats =
   guard @@ fun () ->
   with_stats stats @@ fun () ->
   let ti = read_table table in
   let phi = Fo_parse.parse_exn query in
   if Fo.free_vars phi = [] then begin
-    let p = Query_eval.boolean ti phi in
+    let p =
+      Query_eval.boolean ?cache_size:bdd_cache_size
+        ?gc_threshold:bdd_gc_threshold ti phi
+    in
     Printf.printf "P[ %s ] = %s (~%s)\n" query (Rational.to_string p)
       (Rational.to_decimal_string ~digits:8 p)
   end
@@ -158,12 +181,15 @@ let run_query table query stats =
       (fun (tup, p) ->
         Printf.printf "P[ %s at %s ] = %s\n" query (Tuple.to_string tup)
           (Rational.to_string p))
-      (Query_eval.marginals ti phi)
+      (Query_eval.marginals ?cache_size:bdd_cache_size
+         ?gc_threshold:bdd_gc_threshold ti phi)
 
 let query_cmd =
   let doc = "Exact query evaluation on a closed-world TI table." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ table_arg $ query_arg 1 $ stats_arg)
+    Term.(
+      const run_query $ table_arg $ query_arg 1 $ bdd_cache_size_arg
+      $ bdd_gc_threshold_arg $ stats_arg)
 
 let policy_arg =
   Arg.(
@@ -201,7 +227,7 @@ let open_cmd =
       $ stats_arg)
 
 let run_anytime table query policy eps timeout virtual_rate max_bdd_nodes
-    max_facts stats =
+    max_facts bdd_cache_size bdd_gc_threshold stats =
   guard @@ fun () ->
   with_stats stats @@ fun () ->
   let ti = read_table table in
@@ -213,7 +239,10 @@ let run_anytime table query policy eps timeout virtual_rate max_bdd_nodes
   let budget =
     make_budget ?max_bdd_nodes ?max_facts ~timeout ~virtual_rate ()
   in
-  let sess = Anytime.create ~eps ?budget src phi in
+  let sess =
+    Anytime.create ~eps ?budget ?cache_size:bdd_cache_size
+      ?gc_threshold:bdd_gc_threshold src phi
+  in
   let reason, steps = Anytime.run sess in
   List.iter
     (fun (s : Anytime.step) ->
@@ -241,7 +270,7 @@ let anytime_cmd =
     Term.(
       const run_anytime $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
       $ timeout_arg $ virtual_rate_arg $ max_bdd_nodes_arg $ max_facts_arg
-      $ stats_arg)
+      $ bdd_cache_size_arg $ bdd_gc_threshold_arg $ stats_arg)
 
 let samples_arg =
   Arg.(
@@ -369,7 +398,7 @@ let robust_samples_arg =
         ~doc:"Monte-Carlo worlds for the last ladder rung.")
 
 let run_robust table query policy eps timeout virtual_rate max_bdd_nodes
-    max_facts samples seed faults stats =
+    max_facts bdd_cache_size bdd_gc_threshold samples seed faults stats =
   guard @@ fun () ->
   with_stats stats @@ fun () ->
   let ti = read_table table in
@@ -388,7 +417,7 @@ let run_robust table query policy eps timeout virtual_rate max_bdd_nodes
   let budget = make_budget ~timeout ~virtual_rate () in
   let a =
     Robust_eval.query ?budget ~eps ?max_bdd_nodes ?max_facts
-      ~mc_samples:samples ~seed src phi
+      ?bdd_cache_size ?bdd_gc_threshold ~mc_samples:samples ~seed src phi
   in
   print_endline (Robust_eval.answer_to_string a)
 
@@ -404,7 +433,8 @@ let robust_cmd =
     Term.(
       const run_robust $ table_arg $ query_arg 1 $ policy_arg $ eps_arg
       $ timeout_arg $ virtual_rate_arg $ max_bdd_nodes_arg $ max_facts_arg
-      $ robust_samples_arg $ seed_arg $ inject_faults_arg $ stats_arg)
+      $ bdd_cache_size_arg $ bdd_gc_threshold_arg $ robust_samples_arg
+      $ seed_arg $ inject_faults_arg $ stats_arg)
 
 let run_info table =
   guard @@ fun () ->

@@ -159,7 +159,8 @@ let compile_full t alpha =
     (Lineage.of_sentence ~extra:(VSet.elements t.padding) alpha t.phi)
 
 let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
-    ?(max_nodes = max_int) ?growth ?budget src phi =
+    ?(max_nodes = max_int) ?growth ?budget ?cache_size
+    ?(gc_threshold = 1 lsl 16) src phi =
   if not (eps > 0.0 && eps < 0.5) then
     invalid_arg "Anytime: eps must lie in (0, 1/2)";
   if Fo.free_vars phi <> [] then
@@ -180,9 +181,17 @@ let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
   let tick =
     Option.map (fun b () -> Budget.charge b Budget.Bdd_nodes 1) budget
   in
+  (* Nodes the kernel's GC reclaims are refunded, so the Bdd_nodes cap
+     governs the live diagram, not every node the session ever built. *)
+  let on_free =
+    Option.map (fun b n -> Budget.refund b Budget.Bdd_nodes n) budget
+  in
   (* Newest-first order: later facts sit closer to the root, so joining
      delta lineage extends the diagram at the top. *)
-  let mgr = Bdd.manager ~order:(fun v -> -v) ?tick () in
+  let mgr =
+    Bdd.manager ~order:(fun v -> -v) ?tick ?on_free ?cache_size
+      ~gc_threshold ()
+  in
   let adom = VSet.of_list (Fo.constants phi) in
   let pad_count = Fo.quantifier_rank phi in
   let padding, pad_attempt =
@@ -218,10 +227,13 @@ let create ?(eps = 0.01) ?(max_n = 1 lsl 20) ?(max_steps = 64)
      atom compiles to [False] there, so this settles e.g. a universal
      sentence to its padded (stable) value rather than the vacuous
      empty-domain [True].  A budget already exhausted at creation stops
-     the session immediately instead of raising out of [create]. *)
+     the session immediately instead of raising out of [create].  The
+     session root-protects whatever diagram it currently holds — the GC
+     invariant maintained at every publish point below. *)
   (match compile_full t (Lineage.alphabet []) with
   | bdd -> t.bdd <- bdd
   | exception Budget.Exhausted e -> t.stopped <- Some (Interrupted e));
+  Bdd.protect t.bdd;
   t
 
 let eps t = t.eps
@@ -230,6 +242,7 @@ let history t = List.rev t.steps_rev
 let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
 let stop_reason t = t.stopped
 let node_count t = Bdd.node_count t.mgr
+let allocated_nodes t = Bdd.allocated_count t.mgr
 let bounds t = t.bounds
 
 let fact_args f = Array.to_list f.Fact.args
@@ -297,15 +310,29 @@ let advance t =
         let join =
           match kind with Ch_exists -> Bdd.disj | Ch_forall -> Bdd.conj
         in
+        (* Each [of_expr] below is a GC safe point, so the running
+           accumulator must be rooted while the next delta compiles; the
+           pin is transferred join by join and dropped on exit (the
+           session root on [t.bdd] itself stays untouched until the
+           publish point). *)
         let bdd =
-          Seq.fold_left
-            (fun acc vals ->
-              let lin =
-                Lineage.of_formula alpha (List.combine xs vals) matrix
-              in
-              join t.mgr acc (Bdd.of_expr t.mgr lin))
-            t.bdd
-            (fresh_tuples k dom_list old_dom)
+          let acc = ref t.bdd in
+          Bdd.protect !acc;
+          Fun.protect
+            ~finally:(fun () -> Bdd.release !acc)
+            (fun () ->
+              Seq.iter
+                (fun vals ->
+                  let lin =
+                    Lineage.of_formula alpha (List.combine xs vals) matrix
+                  in
+                  let d = Bdd.of_expr t.mgr lin in
+                  let joined = join t.mgr !acc d in
+                  Bdd.protect joined;
+                  Bdd.release !acc;
+                  acc := joined)
+                (fresh_tuples k dom_list old_dom);
+              !acc)
         in
         (bdd, true)
       | _ ->
@@ -344,7 +371,13 @@ let advance t =
   in
   let exhausted = n' < target in
   t.n <- n';
+  (* Publish: move the session's GC root from the old diagram to the new
+     one, then offer the kernel a collection so dead per-step garbage is
+     reclaimed (and refunded) before the next deepening. *)
+  Bdd.protect bdd';
+  Bdd.release t.bdd;
   t.bdd <- bdd';
+  ignore (Bdd.maybe_gc t.mgr);
   t.probs <- probs;
   t.best_tail <- best;
   t.bounds <- bounds;

@@ -87,6 +87,8 @@ val create :
   ?max_nodes:int ->
   ?growth:(int -> int) ->
   ?budget:Budget.t ->
+  ?cache_size:int ->
+  ?gc_threshold:int ->
   Fact_source.t ->
   Fo.t ->
   t
@@ -101,6 +103,15 @@ val create :
     session with [Interrupted] — never an exception — and the bounds of
     the last {e completed} step remain the session's certified
     enclosure.
+
+    [cache_size] and [gc_threshold] tune the session's shared BDD
+    manager (see {!Bdd.manager}).  The session registers its current
+    lineage diagram as a GC root and offers a collection after every
+    step, so with the default [gc_threshold] (2^16 allocations) the live
+    node count — what {!node_count}, [max_nodes] and the [Bdd_nodes]
+    budget observe — stays proportional to the current diagram instead
+    of growing with every node ever built; swept nodes are refunded to
+    [budget].
     @raise Invalid_argument if [eps] is outside [(0, 1/2)] or the query
     has free variables. *)
 
@@ -123,7 +134,12 @@ val eps : t -> float
 val current_n : t -> int
 
 val node_count : t -> int
-(** Total nodes ever hash-consed in the session's shared manager. *)
+(** Live nodes in the session's shared manager (allocated and not yet
+    garbage-collected). *)
+
+val allocated_nodes : t -> int
+(** Total nodes ever hash-consed in the session's shared manager,
+    including ones the GC has since reclaimed. *)
 
 val bounds : t -> Interval.t
 (** The running certified enclosure of [P(Q)] — [\[0,1\]] before the

@@ -128,12 +128,18 @@ let truncation_r ?max_n src ~eps =
            })
     end
 
-let boolean_r ?max_n ?budget src ~eps phi =
+let boolean_r ?max_n ?budget ?bdd_cache_size ?bdd_gc_threshold src ~eps phi =
   let src =
     match budget with Some b -> Fact_source.with_budget b src | None -> src
   in
   let tick =
     Option.map (fun b () -> Budget.charge b Budget.Bdd_nodes 1) budget
+  in
+  (* The inverse hook: nodes reclaimed by the kernel's GC (enabled via
+     [bdd_gc_threshold]) are refunded, so the [Bdd_nodes] cap governs
+     live nodes rather than every node ever built. *)
+  let on_free =
+    Option.map (fun b n -> Budget.refund b Budget.Bdd_nodes n) budget
   in
   match truncation_r ?max_n src ~eps with
   | Error e -> Error e
@@ -147,7 +153,10 @@ let boolean_r ?max_n ?budget src ~eps phi =
             | Some t -> Float.min t tail
             | None | (exception Budget.Exhausted _) -> tail
           in
-          let p = Query_eval.boolean ?tick table phi in
+          let p =
+            Query_eval.boolean ?tick ?on_free ?cache_size:bdd_cache_size
+              ?gc_threshold:bdd_gc_threshold table phi
+          in
           let om = omega_bounds_of_tail tail in
           {
             estimate = p;

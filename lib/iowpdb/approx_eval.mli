@@ -48,6 +48,8 @@ val truncation_point : ?max_n:int -> Fact_source.t -> eps:float -> int option
 val boolean_r :
   ?max_n:int ->
   ?budget:Budget.t ->
+  ?bdd_cache_size:int ->
+  ?bdd_gc_threshold:int ->
   Fact_source.t ->
   eps:float ->
   Fo.t ->
@@ -58,7 +60,12 @@ val boolean_r :
     charged as [Facts]/[Probes], BDD allocations as [Bdd_nodes]); in the
     budget case the error carries the best sound enclosure implied by
     the deepest certified tail.  [Model_invalid] covers bad [eps] and
-    malformed sources. *)
+    malformed sources.
+
+    [bdd_cache_size] / [bdd_gc_threshold] tune the BDD kernel of the
+    classical engine (see {!Bdd.manager}); with a GC threshold set,
+    nodes the kernel sweeps are refunded to [budget], so the
+    [Bdd_nodes] cap tracks live nodes. *)
 
 val truncation_r :
   ?max_n:int ->

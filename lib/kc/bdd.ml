@@ -1,301 +1,662 @@
-(* Reduced ordered BDDs with a per-manager unique table and operation
-   caches.  Canonicity invariant: no node has lo == hi, and no two
-   distinct nodes have equal (var, lo, hi); hence semantic equality of
-   functions is pointer/id equality of roots. *)
+(* Reduced ordered BDDs, struct-of-arrays edition.
 
-type t =
-  | Leaf of bool
-  | Node of { id : int; level : int; var : int; lo : t; hi : t }
+   Canonicity invariant: no node has lo == hi, and no two distinct live
+   nodes have equal (var, lo, hi); hence semantic equality of functions
+   is equality of root indices within one manager.
 
-type op = Op_and | Op_or | Op_xor
+   Layout: a node is an index into four parallel int arrays (var, level,
+   lo, hi).  Indices 0 and 1 are the false/true leaves.  The unique
+   table is an open-addressing array of node indices; the operation
+   cache is direct-mapped and lossy (BuDDy-style), keyed by a single
+   tagged int [(a lsl 3) lor op] plus the raw operand ints — a lookup
+   touches a handful of int cells and allocates nothing.
+
+   Garbage collection is mark-and-sweep from registered roots (plus an
+   internal scratch stack that pins intermediates during [of_expr]).
+   Freed indices are threaded into a freelist through [lo_a]; a sweep
+   rebuilds the unique table over live nodes and invalidates the
+   operation cache, since cached entries may name recycled indices.  GC
+   runs only at compilation safe points, never inside an apply recursion
+   whose operands live on the OCaml stack unrooted. *)
 
 (* Hot-path instrumentation: single-int bumps, read via Stats.snapshot. *)
-let c_unique_hit = Stats.counter "bdd.unique_hit"
+let c_unique_hit = Stats.counter "bdd.unique.hit"
 let c_nodes = Stats.counter "bdd.nodes_allocated"
-let c_apply_hit = Stats.counter "bdd.apply_hit"
-let c_apply_miss = Stats.counter "bdd.apply_miss"
-let c_neg_hit = Stats.counter "bdd.neg_hit"
-let c_neg_miss = Stats.counter "bdd.neg_miss"
+let c_apply_hit = Stats.counter "bdd.apply.hit"
+let c_apply_miss = Stats.counter "bdd.apply.miss"
+let c_gc_runs = Stats.counter "bdd.gc.runs"
+let c_gc_swept = Stats.counter "bdd.gc.swept"
 
 type manager = {
   order : int -> int;
   tick : unit -> unit; (* called once per fresh node; may raise to abort *)
-  unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) -> node *)
-  apply_cache : (op * int * int, t) Hashtbl.t;
-  neg_cache : (int, t) Hashtbl.t;
-  mutable next_id : int;
+  on_free : int -> unit; (* called with the freed count after a sweep *)
+  (* Node store.  var_a.(i) >= 0: live internal node; -1: free slot
+     (freelist threaded through lo_a); -2: leaf.  Leaves sit at indices
+     0 (false) and 1 (true) with level max_int. *)
+  mutable var_a : int array;
+  mutable level_a : int array;
+  mutable lo_a : int array;
+  mutable hi_a : int array;
+  mutable mark_a : Bytes.t;
+  mutable n_top : int; (* bump allocator frontier *)
+  mutable free_head : int; (* head of the freelist, -1 if empty *)
+  mutable live : int;
+  mutable peak : int;
+  mutable allocated : int; (* monotone: every alloc_node ever *)
+  mutable alloc_since_gc : int;
+  (* Unique table: open addressing over node indices, -1 = empty.  No
+     tombstones — deletion happens only via wholesale rebuild in [gc]. *)
+  mutable u_idx : int array;
+  mutable u_mask : int;
+  mutable u_fill : int;
+  (* Direct-mapped operation cache.  c_k holds the packed tag
+     [(a lsl 3) lor op] (-1 = empty), c_b/c_c the remaining operands
+     (0 when unused), c_r the result index. *)
+  c_k : int array;
+  c_b : int array;
+  c_c : int array;
+  c_r : int array;
+  c_mask : int;
+  gc_threshold : int;
+  roots : (int, int) Hashtbl.t; (* root index -> protect count *)
+  mutable tmp_a : int array; (* scratch roots pinned during of_expr *)
+  mutable tmp_len : int;
 }
 
-let id = function Leaf false -> 0 | Leaf true -> 1 | Node n -> n.id
+type t = { mgr : manager; idx : int }
 
-let manager ?(order = Fun.id) ?(tick = Fun.id) () =
-  {
-    order;
-    tick;
-    unique = Hashtbl.create 1024;
-    apply_cache = Hashtbl.create 1024;
-    neg_cache = Hashtbl.create 256;
-    next_id = 2;
-  }
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_not = 3
+let op_ite = 4
 
-let tru _ = Leaf true
-let fls _ = Leaf false
+let rec round_pow2 acc n = if acc >= n then acc else round_pow2 (acc * 2) n
+
+let manager ?(order = Fun.id) ?(tick = Fun.id) ?(on_free = fun _ -> ())
+    ?(cache_size = 1 lsl 11) ?(gc_threshold = max_int) () =
+  if cache_size <= 0 then
+    invalid_arg "Bdd.manager: cache_size must be positive";
+  if gc_threshold <= 0 then
+    invalid_arg "Bdd.manager: gc_threshold must be positive";
+  let cap = 1024 in
+  let csz = round_pow2 64 cache_size in
+  let m =
+    {
+      order;
+      tick;
+      on_free;
+      var_a = Array.make cap (-1);
+      level_a = Array.make cap 0;
+      lo_a = Array.make cap 0;
+      hi_a = Array.make cap 0;
+      mark_a = Bytes.make cap '\000';
+      n_top = 2;
+      free_head = -1;
+      live = 0;
+      peak = 0;
+      allocated = 0;
+      alloc_since_gc = 0;
+      u_idx = Array.make 2048 (-1);
+      u_mask = 2047;
+      u_fill = 0;
+      c_k = Array.make csz (-1);
+      c_b = Array.make csz 0;
+      c_c = Array.make csz 0;
+      c_r = Array.make csz 0;
+      c_mask = csz - 1;
+      gc_threshold;
+      roots = Hashtbl.create 16;
+      tmp_a = Array.make 64 0;
+      tmp_len = 0;
+    }
+  in
+  m.var_a.(0) <- -2;
+  m.var_a.(1) <- -2;
+  m.level_a.(0) <- max_int;
+  m.level_a.(1) <- max_int;
+  m
+
+let tru m = { mgr = m; idx = 1 }
+let fls m = { mgr = m; idx = 0 }
+
+(* Multiplicative mixing of three ints; masked by the caller. *)
+let hash3 a b c =
+  let h = (a * 0x9e3779b1) lxor (b * 0x85ebca6b) lxor (c * 0xc2b2ae35) in
+  h lxor (h lsr 15)
+
+(* -------------------- unique table -------------------- *)
+
+let u_lookup m var lo hi =
+  let mask = m.u_mask in
+  let rec go i =
+    let n = m.u_idx.(i) in
+    if n < 0 then -1
+    else if m.var_a.(n) = var && m.lo_a.(n) = lo && m.hi_a.(n) = hi then n
+    else go ((i + 1) land mask)
+  in
+  go (hash3 var lo hi land mask)
+
+(* Insert without a load-factor check: used by [u_grow] and the GC
+   rebuild, where capacity is known sufficient. *)
+let u_put m n =
+  let mask = m.u_mask in
+  let rec go i =
+    if m.u_idx.(i) < 0 then begin
+      m.u_idx.(i) <- n;
+      m.u_fill <- m.u_fill + 1
+    end
+    else go ((i + 1) land mask)
+  in
+  go (hash3 m.var_a.(n) m.lo_a.(n) m.hi_a.(n) land mask)
+
+let u_grow m =
+  let old = m.u_idx in
+  let size = (m.u_mask + 1) * 2 in
+  m.u_idx <- Array.make size (-1);
+  m.u_mask <- size - 1;
+  m.u_fill <- 0;
+  Array.iter (fun n -> if n >= 0 then u_put m n) old
+
+(* -------------------- node allocation -------------------- *)
+
+let grow_nodes m =
+  let cap = Array.length m.var_a in
+  let ncap = 2 * cap in
+  let g a = Array.append a (Array.make cap (-1)) in
+  m.var_a <- g m.var_a;
+  m.level_a <- g m.level_a;
+  m.lo_a <- g m.lo_a;
+  m.hi_a <- g m.hi_a;
+  let nb = Bytes.make ncap '\000' in
+  Bytes.blit m.mark_a 0 nb 0 cap;
+  m.mark_a <- nb
+
+let alloc_node m var lo hi =
+  m.tick ();
+  let i =
+    if m.free_head >= 0 then begin
+      let i = m.free_head in
+      m.free_head <- m.lo_a.(i);
+      i
+    end
+    else begin
+      if m.n_top = Array.length m.var_a then grow_nodes m;
+      let i = m.n_top in
+      m.n_top <- m.n_top + 1;
+      i
+    end
+  in
+  m.var_a.(i) <- var;
+  m.level_a.(i) <- m.order var;
+  m.lo_a.(i) <- lo;
+  m.hi_a.(i) <- hi;
+  m.live <- m.live + 1;
+  if m.live > m.peak then m.peak <- m.live;
+  m.allocated <- m.allocated + 1;
+  m.alloc_since_gc <- m.alloc_since_gc + 1;
+  Stats.incr c_nodes;
+  i
 
 let mk m var lo hi =
-  if id lo = id hi then lo
+  if lo = hi then lo
   else begin
-    let key = (var, id lo, id hi) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n ->
+    let found = u_lookup m var lo hi in
+    if found >= 0 then begin
       Stats.incr c_unique_hit;
+      found
+    end
+    else begin
+      let n = alloc_node m var lo hi in
+      if (m.u_fill + 1) * 4 > (m.u_mask + 1) * 3 then u_grow m;
+      u_put m n;
       n
-    | None ->
-      m.tick ();
-      let n = Node { id = m.next_id; level = m.order var; var; lo; hi } in
-      m.next_id <- m.next_id + 1;
-      Hashtbl.add m.unique key n;
-      Stats.incr c_nodes;
-      n
+    end
   end
 
-let var m v = mk m v (Leaf false) (Leaf true)
+let var m v = { mgr = m; idx = mk m v 0 1 }
 
-let level = function
-  | Leaf _ -> max_int
-  | Node n -> n.level
+(* -------------------- shared apply core -------------------- *)
 
-let rec neg m t =
-  match t with
-  | Leaf b -> Leaf (not b)
-  | Node n -> (
-      match Hashtbl.find_opt m.neg_cache n.id with
-      | Some r ->
-        Stats.incr c_neg_hit;
-        r
-      | None ->
-        Stats.incr c_neg_miss;
-        let r = mk m n.var (neg m n.lo) (neg m n.hi) in
-        Hashtbl.add m.neg_cache n.id r;
-        r)
+(* All connectives go through the one direct-mapped cache.  Entries are
+   written after the recursion; a colliding write simply overwrites. *)
 
-let apply_leaf op a b =
-  match op with
-  | Op_and -> a && b
-  | Op_or -> a || b
-  | Op_xor -> a <> b
-
-let rec apply m op a b =
-  (* Terminal shortcuts. *)
-  match (op, a, b) with
-  | _, Leaf x, Leaf y -> Leaf (apply_leaf op x y)
-  | Op_and, Leaf false, _ | Op_and, _, Leaf false -> Leaf false
-  | Op_and, Leaf true, x | Op_and, x, Leaf true -> x
-  | Op_or, Leaf true, _ | Op_or, _, Leaf true -> Leaf true
-  | Op_or, Leaf false, x | Op_or, x, Leaf false -> x
-  | Op_xor, Leaf false, x | Op_xor, x, Leaf false -> x
-  | Op_xor, Leaf true, x | Op_xor, x, Leaf true -> neg m x
-  | _ ->
-    if (op = Op_and || op = Op_or) && id a = id b then a
-    else begin
-      (* Commutative ops: normalize the cache key. *)
-      let ia = id a and ib = id b in
-      let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
-      match Hashtbl.find_opt m.apply_cache key with
-      | Some r ->
-        Stats.incr c_apply_hit;
-        r
-      | None ->
-        Stats.incr c_apply_miss;
-        let la = level a and lb = level b in
-        let r =
-          if la < lb then begin
-            match a with
-            | Node n -> mk m n.var (apply m op n.lo b) (apply m op n.hi b)
-            | Leaf _ -> assert false
-          end
-          else if lb < la then begin
-            match b with
-            | Node n -> mk m n.var (apply m op a n.lo) (apply m op a n.hi)
-            | Leaf _ -> assert false
-          end
-          else begin
-            match (a, b) with
-            | Node na, Node nb ->
-              mk m na.var (apply m op na.lo nb.lo) (apply m op na.hi nb.hi)
-            | _ -> assert false
-          end
-        in
-        Hashtbl.add m.apply_cache key r;
-        r
+let rec neg_i m a =
+  if a < 2 then a lxor 1
+  else begin
+    let k = (a lsl 3) lor op_not in
+    let i = hash3 k 0 0 land m.c_mask in
+    if m.c_k.(i) = k && m.c_b.(i) = 0 && m.c_c.(i) = 0 then begin
+      Stats.incr c_apply_hit;
+      m.c_r.(i)
     end
+    else begin
+      Stats.incr c_apply_miss;
+      let v = m.var_a.(a) and lo = m.lo_a.(a) and hi = m.hi_a.(a) in
+      let r = mk m v (neg_i m lo) (neg_i m hi) in
+      m.c_k.(i) <- k;
+      m.c_b.(i) <- 0;
+      m.c_c.(i) <- 0;
+      m.c_r.(i) <- r;
+      r
+    end
+  end
 
-let conj m a b = apply m Op_and a b
-let disj m a b = apply m Op_or a b
-let xor m a b = apply m Op_xor a b
+let rec apply2 m op a b =
+  (* Terminal shortcuts per connective. *)
+  if op = op_and then
+    if a = 0 || b = 0 then 0
+    else if a = 1 then b
+    else if b = 1 then a
+    else if a = b then a
+    else apply_node m op a b
+  else if op = op_or then
+    if a = 1 || b = 1 then 1
+    else if a = 0 then b
+    else if b = 0 then a
+    else if a = b then a
+    else apply_node m op a b
+  else if a = 0 then b
+  else if b = 0 then a
+  else if a = b then 0
+  else if a = 1 then neg_i m b
+  else if b = 1 then neg_i m a
+  else apply_node m op a b
 
-let ite m f g h = disj m (conj m f g) (conj m (neg m f) h)
-
-let rec of_expr m = function
-  | Bool_expr.True -> Leaf true
-  | Bool_expr.False -> Leaf false
-  | Bool_expr.Var i -> var m i
-  | Bool_expr.Not e -> neg m (of_expr m e)
-  | Bool_expr.And es ->
-    List.fold_left (fun acc e -> conj m acc (of_expr m e)) (Leaf true) es
-  | Bool_expr.Or es ->
-    List.fold_left (fun acc e -> disj m acc (of_expr m e)) (Leaf false) es
-
-let is_tru = function Leaf true -> true | _ -> false
-let is_fls = function Leaf false -> true | _ -> false
-let equal a b = id a = id b
-
-let size t =
-  let seen = Hashtbl.create 64 in
-  let rec go = function
-    | Leaf _ -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.id) then begin
-        Hashtbl.add seen n.id ();
-        go n.lo;
-        go n.hi
+and apply_node m op a b =
+  (* All three binary connectives are commutative: canonicalize the key. *)
+  let a, b = if a <= b then (a, b) else (b, a) in
+  let k = (a lsl 3) lor op in
+  let i = hash3 k b 0 land m.c_mask in
+  if m.c_k.(i) = k && m.c_b.(i) = b && m.c_c.(i) = 0 then begin
+    Stats.incr c_apply_hit;
+    m.c_r.(i)
+  end
+  else begin
+    Stats.incr c_apply_miss;
+    let la = m.level_a.(a) and lb = m.level_a.(b) in
+    let r =
+      if la < lb then begin
+        let v = m.var_a.(a) and lo = m.lo_a.(a) and hi = m.hi_a.(a) in
+        mk m v (apply2 m op lo b) (apply2 m op hi b)
       end
+      else if lb < la then begin
+        let v = m.var_a.(b) and lo = m.lo_a.(b) and hi = m.hi_a.(b) in
+        mk m v (apply2 m op a lo) (apply2 m op a hi)
+      end
+      else begin
+        let v = m.var_a.(a) in
+        let alo = m.lo_a.(a) and ahi = m.hi_a.(a) in
+        let blo = m.lo_a.(b) and bhi = m.hi_a.(b) in
+        mk m v (apply2 m op alo blo) (apply2 m op ahi bhi)
+      end
+    in
+    (* The recursion may have evicted this slot; recompute nothing, just
+       (re)write — the cache is allowed to lose entries, not to lie. *)
+    m.c_k.(i) <- k;
+    m.c_b.(i) <- b;
+    m.c_c.(i) <- 0;
+    m.c_r.(i) <- r;
+    r
+  end
+
+(* ite as a cached primitive.  Standard-triple prefiltering: constant and
+   repeated arguments reduce to a leaf, a copy, a negation or one binary
+   apply; only irreducible triples reach the cofactor recursion and the
+   cache. *)
+let rec ite_i m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else if g = 0 && h = 1 then neg_i m f
+  else if g = 1 then apply2 m op_or f h
+  else if g = 0 then apply2 m op_and (neg_i m f) h
+  else if h = 0 then apply2 m op_and f g
+  else if h = 1 then apply2 m op_or (neg_i m f) g
+  else if f = g then apply2 m op_or f h
+  else if f = h then apply2 m op_and f g
+  else begin
+    let k = (f lsl 3) lor op_ite in
+    let i = hash3 k g h land m.c_mask in
+    if m.c_k.(i) = k && m.c_b.(i) = g && m.c_c.(i) = h then begin
+      Stats.incr c_apply_hit;
+      m.c_r.(i)
+    end
+    else begin
+      Stats.incr c_apply_miss;
+      let lf = m.level_a.(f) and lg = m.level_a.(g) and lh = m.level_a.(h) in
+      let l = Stdlib.min lf (Stdlib.min lg lh) in
+      let v =
+        if lf = l then m.var_a.(f)
+        else if lg = l then m.var_a.(g)
+        else m.var_a.(h)
+      in
+      let f0 = if lf = l then m.lo_a.(f) else f in
+      let f1 = if lf = l then m.hi_a.(f) else f in
+      let g0 = if lg = l then m.lo_a.(g) else g in
+      let g1 = if lg = l then m.hi_a.(g) else g in
+      let h0 = if lh = l then m.lo_a.(h) else h in
+      let h1 = if lh = l then m.hi_a.(h) else h in
+      let r = mk m v (ite_i m f0 g0 h0) (ite_i m f1 g1 h1) in
+      m.c_k.(i) <- k;
+      m.c_b.(i) <- g;
+      m.c_c.(i) <- h;
+      m.c_r.(i) <- r;
+      r
+    end
+  end
+
+(* -------------------- garbage collection -------------------- *)
+
+let mark_from m start =
+  if start >= 2 && Bytes.get m.mark_a start = '\000' then begin
+    let stack = ref [ start ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | i :: rest ->
+        stack := rest;
+        if i >= 2 && Bytes.get m.mark_a i = '\000' then begin
+          Bytes.set m.mark_a i '\001';
+          stack := m.lo_a.(i) :: m.hi_a.(i) :: !stack
+        end
+    done
+  end
+
+let gc m =
+  Stats.incr c_gc_runs;
+  Bytes.fill m.mark_a 0 (Bytes.length m.mark_a) '\000';
+  Hashtbl.iter (fun i _ -> mark_from m i) m.roots;
+  for j = 0 to m.tmp_len - 1 do
+    mark_from m m.tmp_a.(j)
+  done;
+  let swept = ref 0 in
+  for i = 2 to m.n_top - 1 do
+    if m.var_a.(i) >= 0 && Bytes.get m.mark_a i = '\000' then begin
+      m.var_a.(i) <- -1;
+      m.lo_a.(i) <- m.free_head;
+      m.free_head <- i;
+      m.live <- m.live - 1;
+      incr swept
+    end
+  done;
+  (* Rebuild the unique table over live nodes and drop the operation
+     cache: either may name indices the freelist is about to recycle. *)
+  Array.fill m.u_idx 0 (Array.length m.u_idx) (-1);
+  m.u_fill <- 0;
+  for i = 2 to m.n_top - 1 do
+    if m.var_a.(i) >= 0 then u_put m i
+  done;
+  Array.fill m.c_k 0 (Array.length m.c_k) (-1);
+  m.alloc_since_gc <- 0;
+  Stats.add c_gc_swept !swept;
+  if !swept > 0 then m.on_free !swept;
+  !swept
+
+let maybe_gc m = if m.alloc_since_gc >= m.gc_threshold then gc m else 0
+
+let protect t =
+  if t.idx >= 2 then begin
+    let m = t.mgr in
+    let c = Option.value (Hashtbl.find_opt m.roots t.idx) ~default:0 in
+    Hashtbl.replace m.roots t.idx (c + 1)
+  end
+
+let release t =
+  if t.idx >= 2 then begin
+    let m = t.mgr in
+    match Hashtbl.find_opt m.roots t.idx with
+    | None -> ()
+    | Some 1 -> Hashtbl.remove m.roots t.idx
+    | Some c -> Hashtbl.replace m.roots t.idx (c - 1)
+  end
+
+(* -------------------- compilation -------------------- *)
+
+let tmp_push m i =
+  if m.tmp_len = Array.length m.tmp_a then
+    m.tmp_a <- Array.append m.tmp_a (Array.make m.tmp_len 0);
+  m.tmp_a.(m.tmp_len) <- i;
+  m.tmp_len <- m.tmp_len + 1
+
+(* Reachable internal-node count of an index; only used to order operands
+   of a balanced fold, so a plain visited set is fine. *)
+let isize m root =
+  let seen = Hashtbl.create 64 in
+  let rec go i =
+    if i >= 2 && not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      go m.lo_a.(i);
+      go m.hi_a.(i)
+    end
   in
-  go t;
+  go root;
   Hashtbl.length seen
 
-let node_count m = Hashtbl.length m.unique
+let rec build m e =
+  match e with
+  | Bool_expr.True -> 1
+  | Bool_expr.False -> 0
+  | Bool_expr.Var v -> mk m v 0 1
+  | Bool_expr.Not e -> neg_i m (build m e)
+  | Bool_expr.And es -> combine m op_and 1 es
+  | Bool_expr.Or es -> combine m op_or 0 es
 
-let rec eval env = function
-  | Leaf b -> b
-  | Node n -> eval env (if env n.var then n.hi else n.lo)
+(* Compile the operands (pinning each on the scratch stack so the GC safe
+   points in between see them), then combine small-to-large in balanced
+   pairwise rounds: O(n log n) applies where a left fold does O(n^2) work
+   on the independent disjunctions lineages are made of. *)
+and combine m op unit_ es =
+  let base = m.tmp_len in
+  List.iter
+    (fun e ->
+      ignore (maybe_gc m);
+      tmp_push m (build m e))
+    es;
+  let n = ref (m.tmp_len - base) in
+  if !n = 0 then begin
+    m.tmp_len <- base;
+    unit_
+  end
+  else begin
+    let slice = Array.sub m.tmp_a base !n in
+    let sizes = Array.map (isize m) slice in
+    let order = Array.init !n Fun.id in
+    Array.sort (fun i j -> compare sizes.(i) sizes.(j)) order;
+    for j = 0 to !n - 1 do
+      m.tmp_a.(base + j) <- slice.(order.(j))
+    done;
+    while !n > 1 do
+      m.tmp_len <- base + !n;
+      let w = ref 0 and j = ref 0 in
+      while !j + 1 < !n do
+        ignore (maybe_gc m);
+        let r = apply2 m op m.tmp_a.(base + !j) m.tmp_a.(base + !j + 1) in
+        m.tmp_a.(base + !w) <- r;
+        incr w;
+        j := !j + 2
+      done;
+      if !j < !n then begin
+        m.tmp_a.(base + !w) <- m.tmp_a.(base + !j);
+        incr w
+      end;
+      n := !w
+    done;
+    let r = m.tmp_a.(base) in
+    m.tmp_len <- base;
+    r
+  end
+
+(* -------------------- public wrappers -------------------- *)
+
+let same m t name =
+  if t.mgr != m then
+    invalid_arg ("Bdd." ^ name ^ ": node from a different manager");
+  t.idx
+
+let neg m t = { mgr = m; idx = neg_i m (same m t "neg") }
+
+let conj m a b =
+  { mgr = m; idx = apply2 m op_and (same m a "conj") (same m b "conj") }
+
+let disj m a b =
+  { mgr = m; idx = apply2 m op_or (same m a "disj") (same m b "disj") }
+
+let xor m a b =
+  { mgr = m; idx = apply2 m op_xor (same m a "xor") (same m b "xor") }
+
+let ite m f g h =
+  { mgr = m;
+    idx = ite_i m (same m f "ite") (same m g "ite") (same m h "ite") }
+
+let of_expr m e = { mgr = m; idx = build m e }
+let is_tru t = t.idx = 1
+let is_fls t = t.idx = 0
+let equal a b = a.mgr == b.mgr && a.idx = b.idx
+let node_count m = m.live
+let allocated_count m = m.allocated
+let peak_count m = m.peak
+
+(* -------------------- traversals -------------------- *)
+
+(* The one memoized bottom-up DAG pass every reachability walk in this
+   file reduces to: [node] sees each distinct internal node exactly once
+   with its children's results. *)
+let fold_dag m root ~leaf ~node =
+  let memo = Hashtbl.create 64 in
+  let rec go i =
+    if i < 2 then leaf (i = 1)
+    else
+      match Hashtbl.find_opt memo i with
+      | Some r -> r
+      | None ->
+        let r = node m.var_a.(i) m.level_a.(i) (go m.lo_a.(i)) (go m.hi_a.(i)) in
+        Hashtbl.add memo i r;
+        r
+  in
+  go root
+
+let size t =
+  let n = ref 0 in
+  fold_dag t.mgr t.idx
+    ~leaf:(fun _ -> ())
+    ~node:(fun _ _ () () -> incr n);
+  !n
+
+let eval env t =
+  let m = t.mgr in
+  let rec go i =
+    if i < 2 then i = 1
+    else go (if env m.var_a.(i) then m.hi_a.(i) else m.lo_a.(i))
+  in
+  go t.idx
 
 module ISet = Set.Make (Int)
 
 let support t =
-  let seen = Hashtbl.create 64 in
   let acc = ref ISet.empty in
-  let rec go = function
-    | Leaf _ -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.id) then begin
-        Hashtbl.add seen n.id ();
-        acc := ISet.add n.var !acc;
-        go n.lo;
-        go n.hi
-      end
-  in
-  go t;
+  fold_dag t.mgr t.idx
+    ~leaf:(fun _ -> ())
+    ~node:(fun v _ () () -> acc := ISet.add v !acc);
   ISet.elements !acc
+
+(* Per-node model counts, folded bottom-up over the occurring levels:
+   [Count (l, c)] says the sub-BDD rooted at a node of level [l] has [c]
+   satisfying assignments over the support variables strictly below its
+   own rank. *)
+type count = CLeaf of bool | Count of int * Bigint.t
 
 let sat_count t ~over =
   let sup = support t in
   let over_set = ISet.of_list over in
   if not (List.for_all (fun v -> ISet.mem v over_set) sup) then
     invalid_arg "Bdd.sat_count: over must contain the support";
-  (* Count over the support first, then double for each free variable.
-     Collect the occurring levels with a visited table (like size/support):
-     a naive tree recursion revisits shared nodes once per path and is
-     exponential on heavily-shared DAGs. *)
   let levels =
-    let seen = Hashtbl.create 64 in
     let acc = ref [] in
-    let rec collect = function
-      | Leaf _ -> ()
-      | Node n ->
-        if not (Hashtbl.mem seen n.id) then begin
-          Hashtbl.add seen n.id ();
-          acc := n.level :: !acc;
-          collect n.lo;
-          collect n.hi
-        end
-    in
-    collect t;
-    List.sort_uniq compare (List.filter (fun l -> l <> max_int) !acc)
+    fold_dag t.mgr t.idx
+      ~leaf:(fun _ -> ())
+      ~node:(fun _ l () () -> acc := l :: !acc);
+    List.sort_uniq compare !acc
   in
   let rank = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.add rank l i) levels;
   let k = List.length levels in
   let pow2 e = Bigint.shift_left Bigint.one e in
-  let memo = Hashtbl.create 64 in
-  (* count n = number of satisfying assignments of the sub-BDD over the
-     support variables at ranks >= rank(n.level) + 1, scaled per child. *)
-  let rec count n =
-    match n with
-    | Leaf _ -> assert false
-    | Node node -> (
-        match Hashtbl.find_opt memo node.id with
-        | Some c -> c
-        | None ->
-          let r = Hashtbl.find rank node.level in
-          let child c =
-            match c with
-            | Leaf false -> Bigint.zero
-            | Leaf true -> pow2 (k - (r + 1))
-            | Node nc ->
-              let rc = Hashtbl.find rank nc.level in
-              Bigint.mul (pow2 (rc - (r + 1))) (count c)
-          in
-          let c = Bigint.add (child node.lo) (child node.hi) in
-          Hashtbl.add memo node.id c;
-          c)
+  let top =
+    fold_dag t.mgr t.idx
+      ~leaf:(fun b -> CLeaf b)
+      ~node:(fun _ l lo hi ->
+        let r = Hashtbl.find rank l in
+        let child = function
+          | CLeaf false -> Bigint.zero
+          | CLeaf true -> pow2 (k - (r + 1))
+          | Count (lc, c) ->
+            let rc = Hashtbl.find rank lc in
+            Bigint.mul (pow2 (rc - (r + 1))) c
+        in
+        Count (l, Bigint.add (child lo) (child hi)))
   in
   let base =
-    match t with
-    | Leaf false -> Bigint.zero
-    | Leaf true -> pow2 k
-    | Node n ->
-      let r = Hashtbl.find rank n.level in
-      Bigint.mul (pow2 r) (count t)
+    match top with
+    | CLeaf false -> Bigint.zero
+    | CLeaf true -> pow2 k
+    | Count (l, c) -> Bigint.mul (pow2 (Hashtbl.find rank l)) c
   in
   let free = List.length over - List.length sup in
   Bigint.mul base (pow2 free)
 
 let any_sat t =
-  let rec go acc = function
-    | Leaf true -> Some (List.rev acc)
-    | Leaf false -> None
-    | Node n -> (
-        match go ((n.var, true) :: acc) n.hi with
-        | Some r -> Some r
-        | None -> go ((n.var, false) :: acc) n.lo)
+  let m = t.mgr in
+  (* Memoize refuted subtrees: a shared false-heavy node is abandoned
+     once, not once per path through the diagram above it. *)
+  let unsat = Hashtbl.create 16 in
+  let rec go acc i =
+    if i = 1 then Some (List.rev acc)
+    else if i = 0 || Hashtbl.mem unsat i then None
+    else begin
+      let v = m.var_a.(i) in
+      match go ((v, true) :: acc) m.hi_a.(i) with
+      | Some _ as r -> r
+      | None -> (
+        match go ((v, false) :: acc) m.lo_a.(i) with
+        | Some _ as r -> r
+        | None ->
+          Hashtbl.add unsat i ();
+          None)
+    end
   in
-  go [] t
+  go [] t.idx
 
 let restrict m t v b =
+  let i0 = same m t "restrict" in
   let memo = Hashtbl.create 64 in
-  let rec go = function
-    | Leaf x -> Leaf x
-    | Node n -> (
-        if n.var = v then go (if b then n.hi else n.lo)
-        else
-          match Hashtbl.find_opt memo n.id with
-          | Some r -> r
-          | None ->
-            let r = mk m n.var (go n.lo) (go n.hi) in
-            Hashtbl.add memo n.id r;
-            r)
+  let rec go i =
+    if i < 2 then i
+    else if m.var_a.(i) = v then go (if b then m.hi_a.(i) else m.lo_a.(i))
+    else
+      match Hashtbl.find_opt memo i with
+      | Some r -> r
+      | None ->
+        let var = m.var_a.(i) and lo = m.lo_a.(i) and hi = m.hi_a.(i) in
+        let r = mk m var (go lo) (go hi) in
+        Hashtbl.add memo i r;
+        r
   in
-  go t
+  { mgr = m; idx = go i0 }
 
 let fold_prob ~zero ~one ~node t =
-  let memo = Hashtbl.create 64 in
-  let rec go = function
-    | Leaf false -> zero
-    | Leaf true -> one
-    | Node n -> (
-        match Hashtbl.find_opt memo n.id with
-        | Some r -> r
-        | None ->
-          let r = node n.var (go n.lo) (go n.hi) in
-          Hashtbl.add memo n.id r;
-          r)
-  in
-  go t
+  fold_dag t.mgr t.idx
+    ~leaf:(fun b -> if b then one else zero)
+    ~node:(fun v _ lo hi -> node v lo hi)
 
 let pp fmt t =
-  let rec go fmt = function
-    | Leaf b -> Format.fprintf fmt "%b" b
-    | Node n ->
-      Format.fprintf fmt "@[<hov 1>(x%d ? %a : %a)@]" n.var go n.hi go n.lo
+  let m = t.mgr in
+  let rec go fmt i =
+    if i < 2 then Format.fprintf fmt "%b" (i = 1)
+    else
+      Format.fprintf fmt "@[<hov 1>(x%d ? %a : %a)@]" m.var_a.(i) go
+        m.hi_a.(i) go m.lo_a.(i)
   in
-  go fmt t
+  go fmt t.idx

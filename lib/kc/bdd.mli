@@ -5,13 +5,32 @@
     count linear in the BDD size (see {!Wmc}).  Built from scratch — the
     sealed environment has no BDD package.
 
-    A {!manager} owns the unique table; nodes from different managers must
-    not be mixed. *)
+    The kernel is tuned for throughput: nodes live in struct-of-arrays
+    storage addressed by integer index, the unique table is an
+    open-addressing int table, and all operations ([conj]/[disj]/[xor]/
+    [neg]/[ite]) share one direct-mapped lossy operation cache keyed by
+    packed tagged ints — the hot lookup path allocates nothing.
+
+    A {!manager} owns the node store; nodes from different managers must
+    not be mixed (binary operations raise [Invalid_argument] if they
+    are).  Managers optionally run a root-registered mark-and-sweep GC of
+    the node store: see {!protect}, {!release} and {!gc}.  GC runs only
+    at safe points inside {!of_expr} (between sub-compilations) or when
+    {!gc}/{!maybe_gc} is called explicitly — never inside an [apply]
+    recursion — so results of individual operations are stable until the
+    next compilation or explicit collection. *)
 
 type manager
 type t
 
-val manager : ?order:(int -> int) -> ?tick:(unit -> unit) -> unit -> manager
+val manager :
+  ?order:(int -> int) ->
+  ?tick:(unit -> unit) ->
+  ?on_free:(int -> unit) ->
+  ?cache_size:int ->
+  ?gc_threshold:int ->
+  unit ->
+  manager
 (** [order] maps variable indices to levels: smaller level = closer to the
     root.  Default is the identity.  The order must be injective on the
     variables used.
@@ -20,7 +39,20 @@ val manager : ?order:(int -> int) -> ?tick:(unit -> unit) -> unit -> manager
     enters the unique table, and may raise to abort a compilation that is
     blowing up (the manager is left consistent: the aborted node was
     never added).  This is the hook a resource governor uses to cap BDD
-    growth without the BDD layer depending on it. *)
+    growth without the BDD layer depending on it.
+
+    [on_free n] is the inverse hook: called after a garbage collection
+    that freed [n] nodes, so the governor can refund their budget — the
+    pair keeps {!Budget}-style accounting keyed to {e live} nodes.
+
+    [cache_size] is the number of entries in the direct-mapped operation
+    cache (rounded up to a power of two; default [2^11]).  The cache is
+    lossy: a conflicting entry overwrites, never chains.
+
+    [gc_threshold] triggers an automatic collection at the next safe
+    point once that many nodes have been allocated since the previous
+    one (default [max_int]: automatic GC off).
+    @raise Invalid_argument if either size is not positive. *)
 
 val tru : manager -> t
 val fls : manager -> t
@@ -30,20 +62,73 @@ val neg : manager -> t -> t
 val conj : manager -> t -> t -> t
 val disj : manager -> t -> t -> t
 val xor : manager -> t -> t -> t
+
 val ite : manager -> t -> t -> t -> t
+(** If-then-else as a cached primitive (not three binary applies):
+    constant and repeated-argument triples are simplified away before the
+    cofactor recursion, and general triples hit the shared operation
+    cache directly. *)
 
 val of_expr : manager -> Bool_expr.t -> t
+(** Compile a Boolean expression.  [And]/[Or] lists are combined by a
+    size-sorted balanced fold (small operands first, pairwise rounds)
+    rather than a left fold — O(n log n) instead of O(n^2) applies on the
+    long independent disjunctions typical of lineages.  Between
+    sub-compilations the manager may run GC if [gc_threshold] is set;
+    intermediate results are rooted internally. *)
+
+(** {1 Garbage collection}
+
+    The unique table only ever grows unless roots are registered and
+    {!gc} (or the [gc_threshold] automatism) runs.  Sessions that keep a
+    manager alive across many compilations — e.g. anytime evaluation —
+    protect their current diagram and collect between steps, so
+    {!node_count} and the [tick] budget account live nodes instead of
+    every node ever built. *)
+
+val protect : t -> unit
+(** Register the BDD's root against collection.  Counted: [n] calls need
+    [n] {!release}s. *)
+
+val release : t -> unit
+(** Undo one {!protect}.  Releasing a root that is not protected is a
+    no-op. *)
+
+val gc : manager -> int
+(** Mark from the protected roots and sweep everything unreachable;
+    returns the number of nodes freed.  The operation cache is
+    invalidated (freed indices may be reused), the unique table rebuilt
+    over live nodes, and [on_free] is told the freed count.  Results of
+    earlier operations that were not protected (directly or as
+    descendants of a root) are dangling after a sweep — hold only
+    protected diagrams across a collection. *)
+
+val maybe_gc : manager -> int
+(** Run {!gc} iff the allocations since the last sweep reached the
+    manager's [gc_threshold]; returns the number of nodes freed (0 when
+    no collection ran).  This is the safe point [of_expr] calls between
+    sub-compilations. *)
 
 val is_tru : t -> bool
 val is_fls : t -> bool
+
 val equal : t -> t -> bool
-(** Constant-time: ROBDDs are canonical per manager. *)
+(** Constant-time: ROBDDs are canonical per manager.  [false] for nodes
+    of different managers. *)
 
 val size : t -> int
 (** Number of distinct internal nodes reachable from the root. *)
 
 val node_count : manager -> int
-(** Total nodes ever created in the manager (unique-table size). *)
+(** {e Live} nodes in the manager: allocated and not yet swept.  Before
+    any GC this equals the number of nodes ever created. *)
+
+val allocated_count : manager -> int
+(** Total nodes ever allocated, including swept ones — the monotone
+    series [tick] sees. *)
+
+val peak_count : manager -> int
+(** High-water mark of {!node_count}. *)
 
 val eval : (int -> bool) -> t -> bool
 
@@ -56,7 +141,9 @@ val sat_count : t -> over:int list -> Bigint.t
 
 val any_sat : t -> (int * bool) list option
 (** A satisfying partial assignment (over the support), or [None] for the
-    constant-false BDD. *)
+    constant-false BDD.  Linear in the DAG size: UNSAT subtrees are
+    memoized, so shared false-heavy nodes are abandoned once instead of
+    once per path. *)
 
 val restrict : manager -> t -> int -> bool -> t
 (** Cofactor: fix one variable. *)

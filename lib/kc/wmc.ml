@@ -6,7 +6,7 @@ module Make (C : Prob.CARRIER) = struct
         C.add (C.mul p phi) (C.mul (C.compl p) plo))
       t
 
-  let probability_expr ?tick ~weight e =
+  let probability_expr ?tick ?on_free ?cache_size ?gc_threshold ~weight e =
     (* First-occurrence variable order: keeps co-occurring variables
        adjacent (linear BDDs for join lineages where a sorted-by-relation
        order is exponential). *)
@@ -18,7 +18,7 @@ module Make (C : Prob.CARRIER) = struct
         | Some r -> r
         | None -> v + Hashtbl.length tbl
     in
-    let m = Bdd.manager ~order ?tick () in
+    let m = Bdd.manager ~order ?tick ?on_free ?cache_size ?gc_threshold () in
     probability ~weight (Bdd.of_expr m e)
 end
 

@@ -16,10 +16,18 @@ module Make (C : Prob.CARRIER) : sig
       consulted only on the support. *)
 
   val probability_expr :
-    ?tick:(unit -> unit) -> weight:(int -> C.t) -> Bool_expr.t -> C.t
-  (** Convenience: compile to a fresh BDD, then count.  [tick] is
-      forwarded to {!Bdd.manager}: called per fresh node, may raise to
-      abort a blowing-up compilation. *)
+    ?tick:(unit -> unit) ->
+    ?on_free:(int -> unit) ->
+    ?cache_size:int ->
+    ?gc_threshold:int ->
+    weight:(int -> C.t) ->
+    Bool_expr.t ->
+    C.t
+  (** Convenience: compile to a fresh BDD, then count.  [tick],
+      [on_free], [cache_size] and [gc_threshold] are forwarded to
+      {!Bdd.manager}: [tick] is called per fresh node and may raise to
+      abort a blowing-up compilation; [on_free] refunds nodes reclaimed
+      by GC when [gc_threshold] enables it. *)
 end
 
 val float_probability : weight:(int -> float) -> Bool_expr.t -> float

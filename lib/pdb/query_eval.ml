@@ -27,12 +27,12 @@ let c_bdd_fallback = Stats.counter "query.bdd_fallback"
 module Make (C : Prob.CARRIER) = struct
   let weight_of_table ti f = C.of_rational (Ti_table.prob ti f)
 
-  let boolean_bdd ?tick ti phi =
+  let boolean_bdd ?tick ?on_free ?cache_size ?gc_threshold ti phi =
     require_sentence phi;
     let a = alphabet_of_ti ti in
     let lin = Lineage.of_sentence a phi in
     let module W = Wmc.Make (C) in
-    W.probability_expr ?tick
+    W.probability_expr ?tick ?on_free ?cache_size ?gc_threshold
       ~weight:(fun v -> weight_of_table ti (Lineage.fact_of_var a v))
       lin
 
@@ -44,14 +44,14 @@ module Make (C : Prob.CARRIER) = struct
       ~facts:(Ti_table.support ti)
       phi
 
-  let boolean ?tick ti phi =
+  let boolean ?tick ?on_free ?cache_size ?gc_threshold ti phi =
     match boolean_safe ti phi with
     | Some p ->
       Stats.incr c_safe_plan;
       p
     | None ->
       Stats.incr c_bdd_fallback;
-      boolean_bdd ?tick ti phi
+      boolean_bdd ?tick ?on_free ?cache_size ?gc_threshold ti phi
 end
 
 module Exact = Make (Prob.Rational_carrier)
@@ -175,9 +175,9 @@ let marginals_generic ~prob_sentence ~domain phi =
     |> List.of_seq
     |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
 
-let marginals ti phi =
+let marginals ?cache_size ?gc_threshold ti phi =
   marginals_generic
-    ~prob_sentence:(fun s -> boolean ti s)
+    ~prob_sentence:(fun s -> boolean ?cache_size ?gc_threshold ti s)
     ~domain:(eval_domain_ti ti phi)
     phi
 

@@ -60,11 +60,19 @@ val boolean_karp_luby :
     monotone (the query uses negation/implication in an essential way) or
     its DNF exceeds the internal clause bound. *)
 
-val boolean : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> Rational.t
+val boolean :
+  ?tick:(unit -> unit) ->
+  ?on_free:(int -> unit) ->
+  ?cache_size:int ->
+  ?gc_threshold:int ->
+  Ti_table.t ->
+  Fo.t ->
+  Rational.t
 (** The default exact engine: safe plan when applicable, lineage + BDD
-    otherwise.  [tick] is forwarded to the BDD manager of the fallback
-    (called per fresh node; may raise to abort a blow-up — safe plans
-    never tick). *)
+    otherwise.  [tick], [on_free], [cache_size] and [gc_threshold] are
+    forwarded to the BDD manager of the fallback ([tick] is called per
+    fresh node and may raise to abort a blow-up; [on_free] refunds
+    GC-reclaimed nodes — safe plans never tick). *)
 
 (** {1 Boolean queries on explicit world tables} *)
 
@@ -74,7 +82,12 @@ val boolean_finite : Finite_pdb.t -> Fo.t -> Rational.t
 
 (** {1 Queries with free variables (Section 3.1 marginals)} *)
 
-val marginals : Ti_table.t -> Fo.t -> (Tuple.t * Rational.t) list
+val marginals :
+  ?cache_size:int ->
+  ?gc_threshold:int ->
+  Ti_table.t ->
+  Fo.t ->
+  (Tuple.t * Rational.t) list
 (** [marginals ti phi]: for each valuation [a-bar] of the free variables
     (drawn from the evaluation domain), the probability that [a-bar]
     belongs to the answer — nonzero entries only, in tuple order.
@@ -88,7 +101,23 @@ val marginals_finite : Finite_pdb.t -> Fo.t -> (Tuple.t * Rational.t) list
 module Make (C : Prob.CARRIER) : sig
   val weight_of_table : Ti_table.t -> Fact.t -> C.t
 
-  val boolean_bdd : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> C.t
+  val boolean_bdd :
+    ?tick:(unit -> unit) ->
+    ?on_free:(int -> unit) ->
+    ?cache_size:int ->
+    ?gc_threshold:int ->
+    Ti_table.t ->
+    Fo.t ->
+    C.t
+
   val boolean_safe : Ti_table.t -> Fo.t -> C.t option
-  val boolean : ?tick:(unit -> unit) -> Ti_table.t -> Fo.t -> C.t
+
+  val boolean :
+    ?tick:(unit -> unit) ->
+    ?on_free:(int -> unit) ->
+    ?cache_size:int ->
+    ?gc_threshold:int ->
+    Ti_table.t ->
+    Fo.t ->
+    C.t
 end

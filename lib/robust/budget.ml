@@ -159,6 +159,20 @@ let charge t kind n =
   spend t kind n;
   checkpoint t
 
+(* Refunds subtract from the per-kind spend only: [work] keeps counting
+   every unit ever spent so the [Virtual] clock stays monotone, and a
+   sticky trip stays tripped — governed evaluators are expected to
+   collect garbage proactively (before the cap), not to resurrect an
+   exhausted run. *)
+let refund t kind n =
+  if n < 0 then invalid_arg "Budget.refund: negative amount";
+  let i = kind_index kind in
+  let rec sub t =
+    ignore (Atomic.fetch_and_add t.spent.(i) (-n));
+    match t.parent with Some p -> sub p | None -> ()
+  in
+  sub t
+
 let cap_remaining t kind =
   Option.map (fun c -> Stdlib.max 0 (c - spent t kind)) (cap t kind)
 

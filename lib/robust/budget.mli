@@ -79,6 +79,15 @@ val spend : t -> kind -> int -> unit
 val charge : t -> kind -> int -> unit
 (** [spend] then [checkpoint]. *)
 
+val refund : t -> kind -> int -> unit
+(** Give back [n] units of the given kind, on this budget and every
+    ancestor — the inverse of {!spend} for resources that are actually
+    reclaimed (e.g. BDD nodes freed by a garbage collection, reported
+    through [Bdd.manager]'s [on_free] hook).  Only the per-kind spend is
+    reduced: the virtual clock keeps counting every unit ever spent, and
+    a budget that already tripped stays tripped — collect before the cap,
+    not after. *)
+
 val checkpoint : t -> unit
 (** @raise Exhausted if the budget (or an ancestor) is exhausted. *)
 

@@ -89,8 +89,8 @@ let answer_to_string a =
 
 let top = Interval.make 0.0 1.0
 
-let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
-    ?(mc_samples = 20_000) ?(policy = Retry.default_policy)
+let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
+    ?bdd_gc_threshold ?(mc_samples = 20_000) ?(policy = Retry.default_policy)
     ?(sleep = fun (_ : float) -> ()) ?(domains = 1) ?(seed = 0) src phi =
   if not (eps > 0.0 && eps < 0.5) then
     invalid_arg "Robust_eval.query: eps must lie in (0, 1/2)";
@@ -154,7 +154,10 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
                 (* Kind caps are per-attempt child budgets: a blown node
                    cap fails this attempt, not the whole ladder. *)
                 let b = Budget.child ?max_bdd_nodes ?max_facts parent in
-                match Approx_eval.boolean_r ~budget:b src ~eps phi with
+                match
+                  Approx_eval.boolean_r ~budget:b ?bdd_cache_size
+                    ?bdd_gc_threshold src ~eps phi
+                with
                 | Ok res -> res.Approx_eval.bounds
                 | Error e -> Errors.raise_error e)
           in
@@ -175,7 +178,10 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
           let tries, r =
             run_retried ~what:"robust.anytime" ~rung:1 (fun () ->
                 let b = Budget.child ?max_bdd_nodes ?max_facts parent in
-                let s = Anytime.create ~eps ~budget:b src phi in
+                let s =
+                  Anytime.create ~eps ~budget:b ?cache_size:bdd_cache_size
+                    ?gc_threshold:bdd_gc_threshold src phi
+                in
                 let reason, _ = Anytime.run s in
                 (reason, Anytime.bounds s))
           in

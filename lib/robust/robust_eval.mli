@@ -68,6 +68,8 @@ val query :
   ?eps:float ->
   ?max_bdd_nodes:int ->
   ?max_facts:int ->
+  ?bdd_cache_size:int ->
+  ?bdd_gc_threshold:int ->
   ?mc_samples:int ->
   ?policy:Retry.policy ->
   ?sleep:(float -> unit) ->
@@ -87,6 +89,11 @@ val query :
     {e per-attempt} caps, realized as child budgets, so one rung blowing
     its node cap does not condemn the rungs after it.  A rung whose
     budget trips still contributes its partial certificate.
+
+    [bdd_cache_size] / [bdd_gc_threshold] tune the BDD kernels of the
+    exact and anytime rungs (operation-cache entries and allocations
+    between garbage collections, see {!Bdd.manager}); with GC enabled,
+    swept nodes are refunded so [max_bdd_nodes] caps {e live} nodes.
 
     Never raises on faults or exhaustion — those come back in the
     provenance.  @raise Invalid_argument only on caller errors: [eps]

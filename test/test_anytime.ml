@@ -103,7 +103,7 @@ let test_recompile_path_reuses_caches () =
   let late_hits =
     List.filter
       (fun s ->
-        s.Anytime.index > 1 && Stats.find s.Anytime.stats "bdd.apply_hit" > 0.0)
+        s.Anytime.index > 1 && Stats.find s.Anytime.stats "bdd.apply.hit" > 0.0)
       steps
   in
   Alcotest.(check bool) "apply-cache hits carried between steps" true

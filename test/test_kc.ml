@@ -133,6 +133,36 @@ let test_bdd_any_sat () =
    | None -> Alcotest.fail "satisfiable");
   Alcotest.(check bool) "unsat none" true (Bdd.any_sat (Bdd.fls m) = None)
 
+let test_bdd_any_sat_shared_dag () =
+  (* Regression: any_sat used to walk the diagram as a tree, re-entering
+     shared refuted subgraphs once per path above them.  With UNSAT
+     memoization the search is linear in the DAG, so this 500-variable
+     diagram — a parity chain (maximal sharing, false-heavy hi edges)
+     disjoined with an all-false chain — answers instantly. *)
+  let m = Bdd.manager () in
+  let nvars = 500 in
+  let vars = List.init nvars Fun.id in
+  let parity =
+    List.fold_left (fun acc v -> Bdd.xor m acc (Bdd.var m v)) (Bdd.fls m) vars
+  in
+  let all_false =
+    List.fold_left
+      (fun acc v -> Bdd.conj m acc (Bdd.neg m (Bdd.var m v)))
+      (Bdd.tru m) vars
+  in
+  let d = Bdd.disj m parity all_false in
+  (match Bdd.any_sat d with
+  | None -> Alcotest.fail "satisfiable"
+  | Some assign ->
+    let env i = try List.assoc i assign with Not_found -> false in
+    Alcotest.(check bool) "assignment satisfies" true (Bdd.eval env d);
+    let support = Bdd.support d in
+    Alcotest.(check bool) "assignment within support" true
+      (List.for_all (fun (v, _) -> List.mem v support) assign));
+  (* and the constant-false diagram still reports unsatisfiable *)
+  Alcotest.(check bool) "conj with negation unsat" true
+    (Bdd.any_sat (Bdd.conj m d (Bdd.neg m d)) = None)
+
 let test_bdd_restrict () =
   let m = Bdd.manager () in
   let d = Bdd.of_expr m (E.and2 x0 x1) in
@@ -283,6 +313,185 @@ let props =
           (W.probability ~weight (Bdd.of_expr m2 e)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Kernel differential testing *)
+(* ------------------------------------------------------------------ *)
+
+(* Random programs over the full kernel surface — including the cached
+   primitives [ite] and [xor] and the traversal [restrict], which plain
+   Bool_expr generation never exercises — compiled under a random
+   injective variable order and compared against truth-table evaluation
+   on every assignment.  A second pass runs the same programs with a
+   garbage collection forced between operations (intermediates
+   protected), so a sweep that corrupted live nodes, the unique table or
+   the operation cache would change some function's truth table. *)
+
+type kexpr =
+  | KFalse
+  | KTrue
+  | KVar of int
+  | KNot of kexpr
+  | KAnd of kexpr * kexpr
+  | KOr of kexpr * kexpr
+  | KXor of kexpr * kexpr
+  | KIte of kexpr * kexpr * kexpr
+  | KRestrict of kexpr * int * bool
+
+let kvars = 8
+
+let rec kexpr_to_string = function
+  | KFalse -> "F"
+  | KTrue -> "T"
+  | KVar v -> Printf.sprintf "x%d" v
+  | KNot a -> Printf.sprintf "!(%s)" (kexpr_to_string a)
+  | KAnd (a, b) ->
+    Printf.sprintf "(%s & %s)" (kexpr_to_string a) (kexpr_to_string b)
+  | KOr (a, b) ->
+    Printf.sprintf "(%s | %s)" (kexpr_to_string a) (kexpr_to_string b)
+  | KXor (a, b) ->
+    Printf.sprintf "(%s ^ %s)" (kexpr_to_string a) (kexpr_to_string b)
+  | KIte (c, a, b) ->
+    Printf.sprintf "ite(%s, %s, %s)" (kexpr_to_string c) (kexpr_to_string a)
+      (kexpr_to_string b)
+  | KRestrict (a, v, b) ->
+    Printf.sprintf "(%s)[x%d:=%b]" (kexpr_to_string a) v b
+
+let rec keval env = function
+  | KFalse -> false
+  | KTrue -> true
+  | KVar v -> env v
+  | KNot a -> not (keval env a)
+  | KAnd (a, b) -> keval env a && keval env b
+  | KOr (a, b) -> keval env a || keval env b
+  | KXor (a, b) -> keval env a <> keval env b
+  | KIte (c, a, b) -> if keval env c then keval env a else keval env b
+  | KRestrict (a, v, b) -> keval (fun u -> if u = v then b else env u) a
+
+let rec kcompile m = function
+  | KFalse -> Bdd.fls m
+  | KTrue -> Bdd.tru m
+  | KVar v -> Bdd.var m v
+  | KNot a -> Bdd.neg m (kcompile m a)
+  | KAnd (a, b) -> Bdd.conj m (kcompile m a) (kcompile m b)
+  | KOr (a, b) -> Bdd.disj m (kcompile m a) (kcompile m b)
+  | KXor (a, b) -> Bdd.xor m (kcompile m a) (kcompile m b)
+  | KIte (c, a, b) -> Bdd.ite m (kcompile m c) (kcompile m a) (kcompile m b)
+  | KRestrict (a, v, b) -> Bdd.restrict m (kcompile m a) v b
+
+(* Same compilation, but every operand is protected and a full collection
+   runs after every operation; returns a protected diagram (the caller
+   releases). *)
+let rec kcompile_gc m e =
+  let keep d =
+    Bdd.protect d;
+    ignore (Bdd.gc m);
+    d
+  in
+  let unop f a =
+    let da = kcompile_gc m a in
+    let r = keep (f da) in
+    Bdd.release da;
+    r
+  in
+  let binop f a b =
+    let da = kcompile_gc m a in
+    let db = kcompile_gc m b in
+    let r = keep (f da db) in
+    Bdd.release da;
+    Bdd.release db;
+    r
+  in
+  match e with
+  | KFalse -> keep (Bdd.fls m)
+  | KTrue -> keep (Bdd.tru m)
+  | KVar v -> keep (Bdd.var m v)
+  | KNot a -> unop (Bdd.neg m) a
+  | KAnd (a, b) -> binop (Bdd.conj m) a b
+  | KOr (a, b) -> binop (Bdd.disj m) a b
+  | KXor (a, b) -> binop (Bdd.xor m) a b
+  | KIte (c, a, b) ->
+    let dc = kcompile_gc m c in
+    let da = kcompile_gc m a in
+    let db = kcompile_gc m b in
+    let r = keep (Bdd.ite m dc da db) in
+    Bdd.release dc;
+    Bdd.release da;
+    Bdd.release db;
+    r
+  | KRestrict (a, v, b) -> unop (fun d -> Bdd.restrict m d v b) a
+
+let arb_kprog =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n = 0 then
+      oneof
+        [ return KFalse; return KTrue;
+          map (fun v -> KVar v) (int_range 0 (kvars - 1)) ]
+    else
+      frequency
+        [
+          (1, map (fun v -> KVar v) (int_range 0 (kvars - 1)));
+          (2, map (fun a -> KNot a) (gen (n - 1)));
+          (3, map2 (fun a b -> KAnd (a, b)) (gen (n / 2)) (gen (n / 2)));
+          (3, map2 (fun a b -> KOr (a, b)) (gen (n / 2)) (gen (n / 2)));
+          (2, map2 (fun a b -> KXor (a, b)) (gen (n / 2)) (gen (n / 2)));
+          ( 2,
+            map3
+              (fun c a b -> KIte (c, a, b))
+              (gen (n / 3)) (gen (n / 3)) (gen (n / 3)) );
+          ( 1,
+            map3
+              (fun a v b -> KRestrict (a, v, b))
+              (gen (n - 1))
+              (int_range 0 (kvars - 1))
+              bool );
+        ]
+  in
+  let perm st =
+    let a = Array.init kvars Fun.id in
+    shuffle_a a st;
+    a
+  in
+  QCheck.make
+    ~print:(fun (e, p) ->
+      Printf.sprintf "%s under order [%s]" (kexpr_to_string e)
+        (String.concat ";" (Array.to_list (Array.map string_of_int p))))
+    (pair (gen 8) perm)
+
+let truth_tables_agree e d =
+  let ok = ref true in
+  for mask = 0 to (1 lsl kvars) - 1 do
+    let env i = mask land (1 lsl i) <> 0 in
+    if keval env e <> Bdd.eval env d then ok := false
+  done;
+  !ok
+
+let differential_props =
+  [
+    QCheck.Test.make ~name:"kernel ops = truth table (random order)"
+      ~count:300 arb_kprog (fun (e, perm) ->
+        let m = Bdd.manager ~order:(fun v -> perm.(v)) () in
+        truth_tables_agree e (kcompile m e));
+    QCheck.Test.make ~name:"kernel ops = truth table (gc between ops)"
+      ~count:200 arb_kprog (fun (e, perm) ->
+        let m = Bdd.manager ~order:(fun v -> perm.(v)) () in
+        let d = kcompile_gc m e in
+        let ok = truth_tables_agree e d in
+        Bdd.release d;
+        ok);
+    QCheck.Test.make ~name:"gc-interleaved compile = straight compile"
+      ~count:200 arb_kprog (fun (e, perm) ->
+        (* Both compilations happen in one manager: the collected one must
+           hand back the very node the straight one builds (canonicity
+           survives sweeps and unique-table rebuilds). *)
+        let m = Bdd.manager ~order:(fun v -> perm.(v)) () in
+        let d1 = kcompile_gc m e in
+        let d2 = kcompile m e in
+        let ok = Bdd.equal d1 d2 in
+        Bdd.release d1;
+        ok);
+  ]
+
 let () =
   Alcotest.run "kc"
     [
@@ -303,6 +512,8 @@ let () =
           Alcotest.test_case "sat_count shared dag" `Quick
             test_bdd_sat_count_shared_dag;
           Alcotest.test_case "any_sat" `Quick test_bdd_any_sat;
+          Alcotest.test_case "any_sat shared dag" `Quick
+            test_bdd_any_sat_shared_dag;
           Alcotest.test_case "restrict" `Quick test_bdd_restrict;
           Alcotest.test_case "ite/xor" `Quick test_bdd_ite_xor;
           Alcotest.test_case "variable order" `Quick
@@ -316,4 +527,6 @@ let () =
           Alcotest.test_case "large conjunction" `Quick test_wmc_large_conjunction;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
+      ( "kernel differential",
+        List.map QCheck_alcotest.to_alcotest differential_props );
     ]

@@ -72,6 +72,33 @@ let test_budget_child () =
   Alcotest.(check bool) "child tripped" false (Budget.ok child);
   Alcotest.(check bool) "parent unaffected" true (Budget.ok parent)
 
+let test_budget_refund () =
+  let b =
+    Budget.create ~max_bdd_nodes:5 ~clock:(Budget.Virtual 100) ~timeout:1.0 ()
+  in
+  Budget.spend b Budget.Bdd_nodes 4;
+  Budget.refund b Budget.Bdd_nodes 3;
+  Alcotest.(check int) "spent netted" 1 (Budget.spent b Budget.Bdd_nodes);
+  (* the virtual clock keeps counting refunded work: refunds free cap
+     room, they never rewind time *)
+  Alcotest.(check (float 1e-12)) "elapsed monotone" 0.04 (Budget.elapsed b);
+  Budget.spend b Budget.Bdd_nodes 4;
+  Alcotest.(check bool) "cap sees net spend" false (Budget.ok b);
+  (* a trip is sticky: refunding after exhaustion does not revive *)
+  Budget.refund b Budget.Bdd_nodes 4;
+  (match Budget.exhausted b with
+  | Some (Budget.Cap Budget.Bdd_nodes) -> ()
+  | _ -> Alcotest.fail "trip must stay sticky");
+  (* refunds propagate to the parent like spends do *)
+  let parent = Budget.unlimited () in
+  let child = Budget.child ~max_bdd_nodes:10 parent in
+  Budget.spend child Budget.Bdd_nodes 6;
+  Budget.refund child Budget.Bdd_nodes 6;
+  Alcotest.(check int) "parent netted" 0 (Budget.spent parent Budget.Bdd_nodes);
+  Alcotest.check_raises "negative refund"
+    (Invalid_argument "Budget.refund: negative amount") (fun () ->
+      Budget.refund child Budget.Bdd_nodes (-1))
+
 let test_budget_cancel () =
   let b = Budget.unlimited () in
   Alcotest.(check bool) "fresh" true (Budget.ok b);
@@ -302,6 +329,60 @@ let test_anytime_budget_interrupt () =
   Alcotest.(check bool) "bounds contain the limit" true
     (Interval.contains (Anytime.bounds s) geo_limit)
 
+let test_bdd_nodes_budget_gc_completes () =
+  (* Regression for live-node accounting across the Budget <-> Bdd hook
+     pair ([tick] charges each allocation, [on_free] refunds a sweep) —
+     the exact wiring Approx_eval and Anytime use.  The workload
+     compiles a sequence of lineage blocks over disjoint variables,
+     keeping only the latest alive: without GC the [Bdd_nodes] cap trips
+     on blocks that are long dead; with GC the refunds keep net spend at
+     the live count and the same cap admits the full sequence. *)
+  let rounds = 10 and block = 50 in
+  let cap = 600 in
+  let expr r =
+    Bool_expr.disj
+      (List.init block (fun idx ->
+           let v = 2 * ((r * block) + idx) in
+           Bool_expr.and2 (Bool_expr.var v) (Bool_expr.var (v + 1))))
+  in
+  let run gc_threshold =
+    let b = Budget.create ~max_bdd_nodes:cap () in
+    let m =
+      Bdd.manager
+        ~tick:(fun () -> Budget.charge b Budget.Bdd_nodes 1)
+        ~on_free:(fun n -> Budget.refund b Budget.Bdd_nodes n)
+        ~gc_threshold ()
+    in
+    let cur = ref (Bdd.tru m) in
+    Bdd.protect !cur;
+    match
+      for r = 0 to rounds - 1 do
+        let d = Bdd.of_expr m (expr r) in
+        Bdd.protect d;
+        Bdd.release !cur;
+        cur := d;
+        ignore (Bdd.maybe_gc m)
+      done
+    with
+    | () -> Ok (Budget.spent b Budget.Bdd_nodes)
+    | exception Budget.Exhausted cause -> Error cause
+  in
+  (match run max_int with
+  | Error (Budget.Cap Budget.Bdd_nodes) -> ()
+  | Error c ->
+    Alcotest.failf "unexpected exhaustion without GC: %s"
+      (Budget.exhaustion_to_string c)
+  | Ok spent ->
+    Alcotest.failf "expected a node-cap trip without GC (spent %d)" spent);
+  match run 128 with
+  | Ok spent ->
+    Alcotest.(check bool)
+      (Printf.sprintf "net spend tracks live nodes (%d <= %d)" spent cap)
+      true (spent <= cap)
+  | Error c ->
+    Alcotest.failf "GC run should complete under the same cap, got %s"
+      (Budget.exhaustion_to_string c)
+
 let test_completion_uncertified_tail_partial () =
   (* A convergent source whose certified tail bound shrinks only like
      1/n: no truncation below the probe bound certifies a tiny eps, so
@@ -483,6 +564,7 @@ let () =
           Alcotest.test_case "caps" `Quick test_budget_caps;
           Alcotest.test_case "virtual clock" `Quick test_budget_virtual_clock;
           Alcotest.test_case "child" `Quick test_budget_child;
+          Alcotest.test_case "refund" `Quick test_budget_refund;
           Alcotest.test_case "cancel" `Quick test_budget_cancel;
         ] );
       ( "retry",
@@ -511,6 +593,8 @@ let () =
       ( "engines",
         [
           Alcotest.test_case "anytime interrupt" `Quick test_anytime_budget_interrupt;
+          Alcotest.test_case "gc keeps node budget live" `Quick
+            test_bdd_nodes_budget_gc_completes;
           Alcotest.test_case "completion partial" `Quick
             test_completion_uncertified_tail_partial;
         ] );
