@@ -1005,6 +1005,44 @@ let e19 () =
   metric "E19" "nogc_live" (float_of_int live_off)
 
 (* ------------------------------------------------------------------ *)
+(* E20: enumeration oracle cost curve and fuzzer throughput.  The oracle
+   is exponential by design — 2^n worlds — so the numbers that matter are
+   where the wall clocks out (why [Oracle.max_worlds] sits at 2^16) and
+   how many end-to-end differential cases per second the harness
+   sustains, which is what prices the CI smoke run and the nightly
+   budget. *)
+
+let e20 () =
+  header "E20" "Enumeration oracle cost curve and fuzzer throughput";
+  let phi = parse "exists x. R(x)" in
+  row "  %-8s %-10s %-12s %s\n" "facts" "worlds" "seconds" "worlds/s";
+  List.iter
+    (fun n ->
+      let facts = List.init n (fun k -> (r_fact k, q 1 3)) in
+      let t0 = Unix.gettimeofday () in
+      let u = Oracle.of_ti_facts facts in
+      ignore (Oracle.query_prob u phi);
+      ignore (Oracle.enclosure u phi);
+      let dt = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+      let worlds = Oracle.num_worlds u in
+      row "  %-8d %-10d %-12.6f %.0f\n" n worlds dt
+        (float_of_int worlds /. dt);
+      metric "E20" (Printf.sprintf "oracle_s_n%d" n) dt)
+    (if !smoke then [ 4; 8; 10 ] else [ 4; 6; 8; 10; 12; 14; 16 ]);
+  let cases = if !smoke then 15 else 120 in
+  let t0 = Unix.gettimeofday () in
+  let r = Fuzzer.run ~seed:42 ~cases () in
+  let dt = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  row "\n  fuzzer: %d cases, %d checks in %.2f s (%.1f cases/s, %.1f checks/s)\n"
+    r.Fuzzer.cases_run r.Fuzzer.checks_run dt
+    (float_of_int r.Fuzzer.cases_run /. dt)
+    (float_of_int r.Fuzzer.checks_run /. dt);
+  row "  failures: %d (must be 0)\n" (List.length r.Fuzzer.failures);
+  metric "E20" "fuzz_cases_per_s" (float_of_int r.Fuzzer.cases_run /. dt);
+  metric "E20" "fuzz_checks" (float_of_int r.Fuzzer.checks_run);
+  metric "E20" "fuzz_failures" (float_of_int (List.length r.Fuzzer.failures))
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -1013,14 +1051,14 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
-    ("E19", e19);
+    ("E19", e19); ("E20", e20);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
-let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19" ]
+let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20" ]
 
 let () =
   let args = Array.to_list Sys.argv in

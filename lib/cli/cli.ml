@@ -436,6 +436,151 @@ let robust_cmd =
       $ bdd_cache_size_arg $ bdd_gc_threshold_arg $ robust_samples_arg
       $ seed_arg $ inject_faults_arg $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: differential testing against the enumeration oracle *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [guard], but the body chooses the exit code (fuzzing failures
+   exit 1 without being an exception). *)
+let guard_code f =
+  try f () with
+  | Errors.Error e ->
+    prerr_endline ("iowpdb: " ^ Errors.to_string e);
+    Errors.exit_code e
+  | Budget.Exhausted ex ->
+    prerr_endline
+      ("iowpdb: budget exhausted: " ^ Budget.exhaustion_to_string ex);
+    3
+  | Invalid_argument msg | Sys_error msg | Failure msg ->
+    prerr_endline ("iowpdb: " ^ msg);
+    2
+
+let cases_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "cases" ] ~docv:"N" ~doc:"Random cases to generate and check.")
+
+let rank_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "rank" ] ~docv:"R"
+        ~doc:"Maximum quantifier rank of generated queries.")
+
+let engines_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "engines" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated engines to exercise \
+           (exact|approx|anytime|mc|robust), or $(b,all).")
+
+let corpus_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write shrunk failing cases here as replayable .case files \
+           (the test/corpus format).")
+
+let fuzz_mc_samples_arg =
+  Arg.(
+    value & opt int 1500
+    & info [ "mc-samples" ] ~docv:"N"
+        ~doc:"Monte-Carlo worlds per mc containment check.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"PATH"
+        ~doc:
+          "Instead of generating cases, replay a .case file or a \
+           directory of them and re-run every engine check.")
+
+let print_failure (f : Fuzzer.failure) =
+  Printf.printf "FAIL case=%d kind=%s check=%s\n  query: %s\n  %s\n"
+    f.Fuzzer.f_case.Fuzzer.id
+    (Fuzzer.kind_to_string f.Fuzzer.f_case.Fuzzer.kind)
+    f.Fuzzer.check
+    (Fo.to_string f.Fuzzer.f_case.Fuzzer.query)
+    f.Fuzzer.detail
+
+let run_fuzz cases seed rank engines corpus_dir mc_samples replay =
+  guard_code @@ fun () ->
+  let engines =
+    match Fuzzer.engines_of_string engines with
+    | Ok es -> es
+    | Error msg -> invalid_arg ("--engines: " ^ msg)
+  in
+  match replay with
+  | Some path ->
+    let files =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".case")
+        |> List.sort compare
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    if files = [] then invalid_arg ("no .case files under " ^ path);
+    let checks = ref 0 in
+    let failures =
+      List.concat_map
+        (fun file ->
+          let cc = Fuzzer.load file in
+          let n, fs =
+            Fuzzer.run_case ~engines ~mc_samples cc.Fuzzer.c_case
+          in
+          checks := !checks + n;
+          List.map (fun f -> (file, f)) fs)
+        files
+    in
+    Printf.printf "replayed %d corpus case(s), %d check(s), %d failure(s)\n"
+      (List.length files) !checks (List.length failures);
+    List.iter
+      (fun (file, f) ->
+        Printf.printf "in %s:\n" file;
+        print_failure f)
+      failures;
+    if failures = [] then 0 else 1
+  | None ->
+    let config = { Oracle_gen.default with Oracle_gen.max_rank = rank } in
+    let r =
+      Fuzzer.run ~config ~engines ~mc_samples ?corpus_dir ~seed ~cases ()
+    in
+    Printf.printf "fuzz: seed=%d cases=%d checks=%d engines=%s\n" seed
+      r.Fuzzer.cases_run r.Fuzzer.checks_run
+      (String.concat "," (List.map Fuzzer.engine_to_string r.Fuzzer.engines_run));
+    if List.mem Fuzzer.Mc engines then
+      Printf.printf "mc containment confidence: %.5f (Bonferroni-corrected)\n"
+        r.Fuzzer.mc_confidence;
+    List.iter print_failure r.Fuzzer.failures;
+    List.iter
+      (fun p -> Printf.printf "wrote %s\n" p)
+      r.Fuzzer.corpus_written;
+    if r.Fuzzer.failures = [] then begin
+      print_endline "no discrepancies";
+      0
+    end
+    else 1
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generate random instances and queries, compute \
+     exact ground truth by exhaustive possible-worlds enumeration (the \
+     oracle), and check every engine against it — exact rational equality \
+     for the exact paths, oracle-enclosure containment/overlap for every \
+     reported interval (Monte-Carlo at a Bonferroni-corrected confidence), \
+     plus metamorphic laws (complement, monotonicity, completion \
+     condition, interval narrowing).  Deterministic for a fixed seed; \
+     failing cases are shrunk and can be saved for regression replay."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ cases_arg $ seed_arg $ rank_arg $ engines_arg
+      $ corpus_dir_arg $ fuzz_mc_samples_arg $ replay_arg)
+
 let run_info table =
   guard @@ fun () ->
   let ti = read_table table in
@@ -464,6 +609,7 @@ let root =
       mc_cmd;
       robust_cmd;
       sample_cmd;
+      fuzz_cmd;
       info_cmd;
     ]
 

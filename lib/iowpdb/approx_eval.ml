@@ -44,6 +44,36 @@ let truncate_or_fail ?max_n src ~eps =
             truncation below the bound (cf. the closing remark of Section 6)"
            (Fact_source.name src))
 
+(* The truncated table stands in for the countable limit space, so
+   quantifiers must not be decided on the accidentally small truncated
+   domain: a universal sentence that happens to hold on the prefix's
+   active domain can be false on every deeper truncation.  Padding the
+   evaluation domain with [quantifier_rank phi] inert values — occurring
+   in no fact and distinct from the query's constants — makes each
+   world's truth value stable under further truncation (the r-equivalence
+   device of Proposition 6.1); {!Anytime} applies the same device
+   incrementally.  [Cmp] atoms can distinguish inert values, so those
+   queries are evaluated unpadded (as {!Anytime} also refuses them). *)
+let padding table phi =
+  let rank = Fo.quantifier_rank phi in
+  if rank = 0 || Fo.has_cmp phi then []
+  else begin
+    let avoid =
+      Fo.constants phi
+      @ List.concat_map (fun f -> Fact.args f) (Ti_table.support table)
+    in
+    let rec choose attempt =
+      let cand =
+        List.init rank (fun i ->
+            Value.Str (Printf.sprintf "\x00pad.%d.%d" attempt i))
+      in
+      if List.exists (fun v -> List.exists (Value.equal v) avoid) cand then
+        choose (attempt + 1)
+      else cand
+    in
+    choose 0
+  end
+
 (* P(Omega_n) = prod_{i>=n} (1 - p_i): none of the truncated facts
    occurs.  Lower bound from claim (∗), upper bound trivially 1 minus
    nothing (each factor <= 1). *)
@@ -69,7 +99,7 @@ let boolean ?max_n src ~eps phi =
   let tail =
     match Fact_source.tail_mass src n with Some t -> Float.min t tail | None -> tail
   in
-  let p = Query_eval.boolean table phi in
+  let p = Query_eval.boolean ~extra_domain:(padding table phi) table phi in
   let om = omega_bounds_of_tail tail in
   {
     estimate = p;
@@ -154,7 +184,8 @@ let boolean_r ?max_n ?budget ?bdd_cache_size ?bdd_gc_threshold src ~eps phi =
             | None | (exception Budget.Exhausted _) -> tail
           in
           let p =
-            Query_eval.boolean ?tick ?on_free ?cache_size:bdd_cache_size
+            Query_eval.boolean ~extra_domain:(padding table phi) ?tick
+              ?on_free ?cache_size:bdd_cache_size
               ?gc_threshold:bdd_gc_threshold table phi
           in
           let om = omega_bounds_of_tail tail in

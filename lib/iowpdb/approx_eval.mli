@@ -30,7 +30,13 @@ type result = {
 }
 
 val boolean : ?max_n:int -> Fact_source.t -> eps:float -> Fo.t -> result
-(** @raise Invalid_argument if [eps] is outside [(0, 1/2)] (the range of
+(** Quantifiers are evaluated over the truncation's active domain padded
+    with [quantifier_rank phi] inert values (the r-equivalence device of
+    Proposition 6.1, as in {!Anytime}), so [estimate] is the limit
+    conditional probability rather than an artifact of the prefix's
+    accidental domain; [Cmp] queries, which can distinguish inert values,
+    are evaluated unpadded.
+    @raise Invalid_argument if [eps] is outside [(0, 1/2)] (the range of
     Proposition 6.1), the source diverges, or no adequate truncation
     exists below [max_n] (default [2^20]) — the "series may converge
     arbitrarily slowly" caveat of Section 6. *)

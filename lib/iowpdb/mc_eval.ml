@@ -106,7 +106,13 @@ let wilson_interval ~z ~hits ~samples =
   let half =
     z /. denom *. sqrt (((ph *. (1.0 -. ph)) +. (z2 /. (4.0 *. n))) /. n)
   in
-  Interval.clamp01 (Interval.make (centre -. half) (centre +. half))
+  (* At the boundaries the exact endpoints are 0 / 1 (centre and half
+     cancel algebraically), but the float evaluation leaves a residue of
+     order 1e-19 that would wrongly exclude a true probability of exactly
+     0 or 1 — pin them. *)
+  let lo = if hits = 0 then 0.0 else centre -. half in
+  let hi = if hits = samples then 1.0 else centre +. half in
+  Interval.clamp01 (Interval.make lo hi)
 
 let widen_by_tv iv tv =
   if tv <= 0.0 then iv

@@ -46,12 +46,16 @@ let lex input =
   let n = String.length input in
   let toks = ref [] in
   let i = ref 0 in
-  let emit t = toks := t :: !toks in
   let is_ident_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
     || c = '_' || c = '\''
   in
   while !i < n do
+    let start = !i in
+    let emit t = toks := (t, start) :: !toks in
+    let fail msg =
+      raise (Err (Printf.sprintf "%s at character %d" msg start))
+    in
     let c = input.[!i] in
     (match c with
      | ' ' | '\t' | '\n' | '\r' -> incr i
@@ -77,14 +81,14 @@ let lex input =
          (* negative integer literal *)
          let j = ref (!i + 1) in
          while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do incr j done;
-         if !j = !i + 1 then raise (Err "stray '-'");
+         if !j = !i + 1 then fail "stray '-'";
          emit (T_int (int_of_string (String.sub input !i (!j - !i))));
          i := !j
        end
      | '#' ->
        if !i + 1 < n && input.[!i + 1] = 't' then begin emit T_hash_t; i := !i + 2 end
        else if !i + 1 < n && input.[!i + 1] = 'f' then begin emit T_hash_f; i := !i + 2 end
-       else raise (Err "expected #t or #f")
+       else fail "expected #t or #f"
      | '"' ->
        let buf = Buffer.create 8 in
        let j = ref (!i + 1) in
@@ -98,7 +102,7 @@ let lex input =
           | c -> Buffer.add_char buf c);
          incr j
        done;
-       if not !closed then raise (Err "unterminated string literal");
+       if not !closed then fail "unterminated string literal";
        emit (T_string (Buffer.contents buf));
        i := !j
      | '0' .. '9' ->
@@ -119,23 +123,25 @@ let lex input =
         | _ ->
           if s.[0] >= 'A' && s.[0] <= 'Z' then emit (T_uident s)
           else emit (T_lident s))
-     | c -> raise (Err (Printf.sprintf "unexpected character %C" c)))
+     | c -> fail (Printf.sprintf "unexpected character %C" c))
   done;
-  emit T_eof;
+  toks := (T_eof, n) :: !toks;
   Array.of_list (List.rev !toks)
 
-type state = { toks : token array; mutable pos : int }
+type state = { toks : (token * int) array; mutable pos : int }
 
-let peek st = st.toks.(st.pos)
+let peek st = fst st.toks.(st.pos)
 let advance st = st.pos <- st.pos + 1
+
+let err st msg =
+  raise (Err (Printf.sprintf "%s at character %d" msg (snd st.toks.(st.pos))))
 
 let expect st t =
   if peek st = t then advance st
   else
-    raise
-      (Err
-         (Printf.sprintf "expected %s but found %s" (token_to_string t)
-            (token_to_string (peek st))))
+    err st
+      (Printf.sprintf "expected %s but found %s" (token_to_string t)
+         (token_to_string (peek st)))
 
 let parse_term st =
   match peek st with
@@ -144,7 +150,7 @@ let parse_term st =
   | T_string s -> advance st; Fo.Const (Value.Str s)
   | T_hash_t -> advance st; Fo.Const (Value.Bool true)
   | T_hash_f -> advance st; Fo.Const (Value.Bool false)
-  | t -> raise (Err (Printf.sprintf "expected a term, found %s" (token_to_string t)))
+  | t -> err st (Printf.sprintf "expected a term, found %s" (token_to_string t))
 
 (* Precedence climbing: implies < or < and < not/atom. *)
 let rec parse_implies st =
@@ -190,13 +196,12 @@ and parse_unary st =
       | T_lident x -> advance st; vars (x :: acc)
       | T_dot ->
         advance st;
-        if acc = [] then raise (Err "quantifier with no variables");
+        if acc = [] then err st "quantifier with no variables";
         List.rev acc
       | t ->
-        raise
-          (Err
-             (Printf.sprintf "expected variable or '.', found %s"
-                (token_to_string t)))
+        err st
+          (Printf.sprintf "expected variable or '.', found %s"
+             (token_to_string t))
     in
     let xs = vars [] in
     let body = parse_implies st in
@@ -226,10 +231,9 @@ and parse_atom st =
         | T_comma -> advance st; args (t :: acc)
         | T_rparen -> advance st; List.rev (t :: acc)
         | tok ->
-          raise
-            (Err
-               (Printf.sprintf "expected ',' or ')', found %s"
-                  (token_to_string tok)))
+          err st
+            (Printf.sprintf "expected ',' or ')', found %s"
+               (token_to_string tok))
       in
       Fo.Atom (r, args [])
     end
@@ -244,11 +248,10 @@ and parse_atom st =
      | T_gt -> advance st; Fo.Cmp (Fo.Gt, a, parse_term st)
      | T_ge -> advance st; Fo.Cmp (Fo.Ge, a, parse_term st)
      | t ->
-       raise
-         (Err
-            (Printf.sprintf "expected a comparison operator, found %s"
-               (token_to_string t))))
-  | t -> raise (Err (Printf.sprintf "unexpected token %s" (token_to_string t)))
+       err st
+         (Printf.sprintf "expected a comparison operator, found %s"
+            (token_to_string t)))
+  | t -> err st (Printf.sprintf "unexpected token %s" (token_to_string t))
 
 let parse input =
   match

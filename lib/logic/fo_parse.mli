@@ -21,6 +21,9 @@
     Relation names start with an uppercase letter. *)
 
 val parse : string -> (Fo.t, string) result
+(** [Error] messages cite the character offset of the offending token,
+    e.g. ["unexpected token | at character 7"]. *)
+
 val parse_exn : string -> Fo.t
 (** @raise Invalid_argument with a message pointing at the offending
     token. *)

@@ -1,0 +1,143 @@
+(** Cross-engine differential fuzzing against the enumeration oracle.
+
+    Each case draws a random instance and query ({!Oracle_gen}), builds
+    the exact {!Oracle} universe, and runs the enabled engines against
+    it:
+
+    - the exact closed-world path ({!Query_eval} BDD, enumeration, safe
+      plan, interval carrier) must agree with the oracle {e exactly} —
+      rational equality, no tolerance;
+    - every reported interval ({!Approx_eval} / {!Completion} bounds,
+      {!Anytime} bounds, {!Robust_eval} enclosures) must intersect the
+      oracle's exact tail enclosure of the same limit probability — two
+      sound intervals around one value cannot be disjoint;
+    - Monte-Carlo intervals ({!Mc_eval}) are checked the same way at a
+      Bonferroni-corrected confidence, so the whole run has a bounded
+      false-alarm rate and a fixed seed makes it deterministic;
+    - metamorphic laws that need no oracle at all: complement
+      [P(not Q) = 1 - P(Q)], monotonicity of positive queries under
+      fact-probability increase, the completion condition (CC) of
+      Definition 5.1, BID within-block exclusivity, Corollary 4.7
+      expected size, and truncation-monotone narrowing of the oracle
+      enclosure.
+
+    A failing case is shrunk (fewer facts, structurally smaller query)
+    while the same check keeps failing, and can be serialized to a
+    corpus file that {!of_lines} reads back — the regression-replay
+    format under [test/corpus/]. *)
+
+type engine = Exact | Approx | Anytime | Mc | Robust
+
+val all_engines : engine list
+val engine_to_string : engine -> string
+
+val engine_of_string : string -> engine option
+(** Case-insensitive. *)
+
+val engines_of_string : string -> (engine list, string) result
+(** Comma-separated list, e.g. ["exact,mc"]; ["all"] means every
+    engine. *)
+
+type kind =
+  | K_ti  (** finite tuple-independent table *)
+  | K_open  (** finite prefix + infinite geometric tail (countable TI) *)
+  | K_bid  (** finite block-independent-disjoint table *)
+  | K_completion  (** finite original completed by a policy (Section 5) *)
+
+val kind_to_string : kind -> string
+
+type case = {
+  id : int;
+  kind : kind;
+  table : Ti_table.t;
+      (** the TI facts: the whole instance ([K_ti]), the enumerated
+          prefix ([K_open]), or the original PDB ([K_completion]);
+          empty for [K_bid] *)
+  bid : Bid_table.t option;  (** [K_bid] only *)
+  policy : Oracle_gen.policy option;
+      (** the completing policy ([K_completion]) or the geometric tail
+          ([K_open], always [Geometric]) *)
+  query : Fo.t;
+}
+
+val generate : Oracle_gen.config -> seed:int -> id:int -> case
+(** Case [id] of the stream for [seed] — a pure function of
+    [(config, seed, id)], independent of any other case. *)
+
+type failure = {
+  f_case : case;
+  check : string;
+      (** dotted check name, e.g. ["approx.bounds"], ["law.complement"];
+          the prefix identifies the engine *)
+  detail : string;  (** expected-vs-got, single line *)
+}
+
+val engine_of_check : string -> engine
+(** Which engine a check name exercises (shrinking re-runs only that
+    engine). *)
+
+val run_case :
+  ?engines:engine list ->
+  ?mc_samples:int ->
+  ?mc_confidence:float ->
+  case ->
+  int * failure list
+(** Run all enabled checks on one case; returns [(checks_run,
+    failures)].  An engine that raises an unexpected exception fails its
+    check with the exception text.  Oracle universes that would exceed
+    {!Oracle.max_worlds} cause the affected checks to be skipped (not
+    counted). *)
+
+val shrink : ?max_steps:int -> failure -> failure
+(** Greedily minimize the failing case: drop facts / blocks /
+    alternatives and replace the query by structurally smaller sentences
+    (subformulas, quantifier instantiations) while the same check still
+    fails.  Deterministic. *)
+
+type report = {
+  cases_run : int;
+  checks_run : int;
+  engines_run : engine list;
+  mc_confidence : float;
+      (** the Bonferroni-corrected per-check confidence used for
+          Monte-Carlo containment *)
+  failures : failure list;  (** shrunk, in case order *)
+  corpus_written : string list;  (** paths, when [corpus_dir] was given *)
+}
+
+val run :
+  ?config:Oracle_gen.config ->
+  ?engines:engine list ->
+  ?mc_samples:int ->
+  ?corpus_dir:string ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** The fuzzing loop: cases [0 .. cases-1] of the stream for [seed].
+    Expensive engines rotate across cases (exact and truncation paths
+    run on every applicable case; anytime, Monte-Carlo and the robust
+    supervisor on strided subsets).  Failures are shrunk, and — when
+    [corpus_dir] is given — written there as replayable [.case] files.
+    Bit-reproducible for fixed arguments. *)
+
+(** {1 Corpus serialization} *)
+
+type corpus_case = {
+  c_case : case;
+  c_check : string;  (** the check the case was minimized against *)
+  c_detail : string;  (** the failure detail at capture time *)
+}
+
+val to_lines : seed:int -> corpus_case -> string list
+val of_lines : ?file:string -> string list -> corpus_case
+(** Inverse of {!to_lines}; blank lines and [#] comments ignored.
+    @raise Invalid_argument on malformed input, citing [file] and the
+    line. *)
+
+val save : dir:string -> seed:int -> failure -> string
+(** Write a shrunk failure as [<dir>/<check>-<seed>-<id>.case]; returns
+    the path. *)
+
+val load : string -> corpus_case
+(** Read a [.case] file. *)

@@ -27,10 +27,11 @@ let c_bdd_fallback = Stats.counter "query.bdd_fallback"
 module Make (C : Prob.CARRIER) = struct
   let weight_of_table ti f = C.of_rational (Ti_table.prob ti f)
 
-  let boolean_bdd ?tick ?on_free ?cache_size ?gc_threshold ti phi =
+  let boolean_bdd ?(extra_domain = []) ?tick ?on_free ?cache_size ?gc_threshold
+      ti phi =
     require_sentence phi;
     let a = alphabet_of_ti ti in
-    let lin = Lineage.of_sentence a phi in
+    let lin = Lineage.of_sentence ~extra:extra_domain a phi in
     let module W = Wmc.Make (C) in
     W.probability_expr ?tick ?on_free ?cache_size ?gc_threshold
       ~weight:(fun v -> weight_of_table ti (Lineage.fact_of_var a v))
@@ -44,14 +45,20 @@ module Make (C : Prob.CARRIER) = struct
       ~facts:(Ti_table.support ti)
       phi
 
-  let boolean ?tick ?on_free ?cache_size ?gc_threshold ti phi =
+  let boolean ?(extra_domain = []) ?tick ?on_free ?cache_size ?gc_threshold ti
+      phi =
+    (* A safe plan quantifies over the values occurring in facts; an
+       extension by inert values (occurring in no fact and not among the
+       query's constants) cannot change the truth of a hierarchical
+       positive existential CQ on any world, so the plan's answer is the
+       padded answer and the fast path stays valid. *)
     match boolean_safe ti phi with
     | Some p ->
       Stats.incr c_safe_plan;
       p
     | None ->
       Stats.incr c_bdd_fallback;
-      boolean_bdd ?tick ?on_free ?cache_size ?gc_threshold ti phi
+      boolean_bdd ~extra_domain ?tick ?on_free ?cache_size ?gc_threshold ti phi
 end
 
 module Exact = Make (Prob.Rational_carrier)

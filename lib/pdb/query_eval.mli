@@ -61,6 +61,7 @@ val boolean_karp_luby :
     its DNF exceeds the internal clause bound. *)
 
 val boolean :
+  ?extra_domain:Value.t list ->
   ?tick:(unit -> unit) ->
   ?on_free:(int -> unit) ->
   ?cache_size:int ->
@@ -72,7 +73,15 @@ val boolean :
     otherwise.  [tick], [on_free], [cache_size] and [gc_threshold] are
     forwarded to the BDD manager of the fallback ([tick] is called per
     fresh node and may raise to abort a blow-up; [on_free] refunds
-    GC-reclaimed nodes — safe plans never tick). *)
+    GC-reclaimed nodes — safe plans never tick).
+
+    [extra_domain] extends the quantifier domain with additional values.
+    Truncation-based callers pass inert padding values here so that
+    universally quantified queries are decided as on the countable limit
+    space rather than on the bare truncation (the r-equivalence device of
+    Proposition 6.1); see {!Anytime} and {!Approx_eval}.  Inert values
+    occur in no fact, so the safe-plan fast path — which is only taken
+    for positive existential plans — is unaffected by them. *)
 
 (** {1 Boolean queries on explicit world tables} *)
 
@@ -102,6 +111,7 @@ module Make (C : Prob.CARRIER) : sig
   val weight_of_table : Ti_table.t -> Fact.t -> C.t
 
   val boolean_bdd :
+    ?extra_domain:Value.t list ->
     ?tick:(unit -> unit) ->
     ?on_free:(int -> unit) ->
     ?cache_size:int ->
@@ -113,6 +123,7 @@ module Make (C : Prob.CARRIER) : sig
   val boolean_safe : Ti_table.t -> Fo.t -> C.t option
 
   val boolean :
+    ?extra_domain:Value.t list ->
     ?tick:(unit -> unit) ->
     ?on_free:(int -> unit) ->
     ?cache_size:int ->
