@@ -8,6 +8,7 @@
      robust   - resource-governed supervisor: exact -> anytime -> MC
                 under one budget, with retries and provenance
      sample   - draw worlds from the (optionally completed) PDB
+     plan     - show the lifted safe plan for a query (dichotomy verdict)
      info     - table statistics
 
    Table files are the Ti_table text format: one "R(args...) prob" per
@@ -581,6 +582,36 @@ let fuzz_cmd =
       const run_fuzz $ cases_arg $ seed_arg $ rank_arg $ engines_arg
       $ corpus_dir_arg $ fuzz_mc_samples_arg $ replay_arg)
 
+(* Purely syntactic: no table needed — the dichotomy verdict and the plan
+   tree are properties of the query alone. *)
+let run_plan query =
+  guard @@ fun () ->
+  let phi = Fo_parse.parse_exn query in
+  (match Fo.free_vars phi with
+  | [] -> ()
+  | fvs ->
+    invalid_arg
+      (Printf.sprintf "query has free variables %s" (String.concat ", " fvs)));
+  match Safe_plan.plan_of phi with
+  | Some plan ->
+    Printf.printf "safe: yes (lifted evaluation, polynomial time)\n";
+    Printf.printf "plan: %s\n" (Safe_plan.plan_to_string plan)
+  | None ->
+    Printf.printf
+      "safe: no (no lifted plan: hard side of the dichotomy, or outside \
+       the positive existential UCQ fragment; grounded engines take over)\n"
+
+let plan_cmd =
+  let doc =
+    "Show the lifted safe plan for a query, or report that none exists. \
+     The plan certifies polynomial-time evaluation via independent union \
+     / join / project and inclusion-exclusion; queries without one are \
+     routed to the lineage + BDD engine by $(b,query) and to the grounded \
+     rungs by $(b,robust)."
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run_plan $ query_arg 0)
+
 let run_info table =
   guard @@ fun () ->
   let ti = read_table table in
@@ -609,6 +640,7 @@ let root =
       mc_cmd;
       robust_cmd;
       sample_cmd;
+      plan_cmd;
       fuzz_cmd;
       info_cmd;
     ]

@@ -212,6 +212,66 @@ let boolean_r ?max_n ?budget ?bdd_cache_size ?bdd_gc_threshold src ~eps phi =
       Error (Errors.Budget_exhausted { what; exhaustion; partial })
     | Error e -> Error e)
 
+(* The lifted fast path: same truncation certificate, but the classical
+   engine is the safe-plan UCQ evaluator instead of lineage + BDD.  No
+   inert padding is needed — the lifted engine only answers for positive
+   existential UCQs, which cannot distinguish the truncated domain from
+   any inert extension, so its answer already is the limit-semantics
+   conditional probability.  Plan-rule applications are charged as
+   [Steps], the cancellation hook of the robust ladder. *)
+let boolean_lifted_r ?max_n ?budget src ~eps phi =
+  let src =
+    match budget with Some b -> Fact_source.with_budget b src | None -> src
+  in
+  let step = Option.map (fun b () -> Budget.charge b Budget.Steps 1) budget in
+  match truncation_r ?max_n src ~eps with
+  | Error e -> Error e
+  | Ok (n, tail) -> (
+    let what = "Approx_eval.lifted(" ^ Fact_source.name src ^ ")" in
+    match
+      Errors.protect ~what (fun () ->
+          let table = Fact_source.truncate src n in
+          let tail =
+            match Fact_source.tail_mass src n with
+            | Some t -> Float.min t tail
+            | None | (exception Budget.Exhausted _) -> tail
+          in
+          match Query_eval.boolean_safe ?step table phi with
+          | None -> `Unsafe
+          | Some p ->
+            let om = omega_bounds_of_tail tail in
+            `Safe
+              {
+                estimate = p;
+                eps;
+                n_used = n;
+                tail_mass = tail;
+                omega_n_bounds = om;
+                bounds = enclosure p om;
+              })
+    with
+    | Ok (`Safe r) -> Ok r
+    | Ok `Unsafe ->
+      (* A query property, not a transient fault: the dichotomy routed
+         this query to the grounded engines. *)
+      Error
+        (Errors.Model_invalid
+           {
+             what;
+             msg =
+               "query has no polynomial-time lifted plan (hard side of the \
+                dichotomy); use a grounded engine";
+           })
+    | Error (Errors.Budget_exhausted { what; exhaustion; partial = _ }) ->
+      let partial =
+        Some
+          (enclosure_interval
+             (Interval.make 0.0 1.0)
+             (omega_bounds_of_tail tail))
+      in
+      Error (Errors.Budget_exhausted { what; exhaustion; partial })
+    | Error e -> Error e)
+
 let marginals ?max_n src ~eps phi =
   let n, _ = truncate_or_fail ?max_n src ~eps in
   let table = Fact_source.truncate src n in

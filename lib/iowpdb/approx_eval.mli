@@ -73,6 +73,24 @@ val boolean_r :
     nodes the kernel sweeps are refunded to [budget], so the
     [Bdd_nodes] cap tracks live nodes. *)
 
+val boolean_lifted_r :
+  ?max_n:int ->
+  ?budget:Budget.t ->
+  Fact_source.t ->
+  eps:float ->
+  Fo.t ->
+  (result, Errors.t) Stdlib.result
+(** Like {!boolean_r}, but the classical engine on the truncated prefix
+    is the lifted safe-plan UCQ evaluator ({!Query_eval.boolean_safe})
+    instead of lineage + BDD: polynomial in the prefix, no knowledge
+    compilation.  Plan-rule applications are charged to [budget] as
+    [Steps] (the cancellation hook), source accesses as
+    [Facts]/[Probes].  Fails with [Model_invalid] when the query has no
+    safe plan — the hard side of the dichotomy — which is a property of
+    the query, not a transient fault; no inert padding is needed because
+    the engine only answers for positive existential UCQs, whose truth
+    is invariant under inert domain extensions. *)
+
 val truncation_r :
   ?max_n:int ->
   Fact_source.t ->

@@ -4,9 +4,12 @@
     the exact {!Oracle} universe, and runs the enabled engines against
     it:
 
-    - the exact closed-world path ({!Query_eval} BDD, enumeration, safe
-      plan, interval carrier) must agree with the oracle {e exactly} —
+    - the exact closed-world path ({!Query_eval} BDD, enumeration,
+      interval carrier) must agree with the oracle {e exactly} —
       rational equality, no tolerance;
+    - the lifted safe-plan engine, on every query it accepts, must agree
+      with both the oracle and the compiled BDD by rational equality
+      (checks [lifted.oracle] / [lifted.bdd]);
     - every reported interval ({!Approx_eval} / {!Completion} bounds,
       {!Anytime} bounds, {!Robust_eval} enclosures) must intersect the
       oracle's exact tail enclosure of the same limit probability — two
@@ -26,7 +29,7 @@
     corpus file that {!of_lines} reads back — the regression-replay
     format under [test/corpus/]. *)
 
-type engine = Exact | Approx | Anytime | Mc | Robust
+type engine = Exact | Lifted | Approx | Anytime | Mc | Robust
 
 val all_engines : engine list
 val engine_to_string : engine -> string

@@ -37,21 +37,22 @@ module Make (C : Prob.CARRIER) = struct
       ~weight:(fun v -> weight_of_table ti (Lineage.fact_of_var a v))
       lin
 
-  let boolean_safe ti phi =
+  let boolean_safe ?step ti phi =
     require_sentence phi;
     let module S = Safe_plan.Make (C) in
-    S.probability
+    S.probability ?step
       ~weight:(weight_of_table ti)
       ~facts:(Ti_table.support ti)
       phi
 
   let boolean ?(extra_domain = []) ?tick ?on_free ?cache_size ?gc_threshold ti
       phi =
-    (* A safe plan quantifies over the values occurring in facts; an
-       extension by inert values (occurring in no fact and not among the
-       query's constants) cannot change the truth of a hierarchical
-       positive existential CQ on any world, so the plan's answer is the
-       padded answer and the fast path stays valid. *)
+    (* Dichotomy-aware routing: the lifted UCQ engine first, lineage +
+       BDD for everything it rejects.  A safe plan quantifies over the
+       values occurring in facts; an extension by inert values (occurring
+       in no fact and not among the query's constants) cannot change the
+       truth of a positive existential UCQ on any world, so the plan's
+       answer is the padded answer and the fast path stays valid. *)
     match boolean_safe ti phi with
     | Some p ->
       Stats.incr c_safe_plan;
@@ -82,7 +83,8 @@ let boolean_enum ti phi =
 let boolean_bdd_rational ti phi = Exact.boolean_bdd ti phi
 let boolean_bdd_float ti phi = Fast.boolean_bdd ti phi
 let boolean_bdd_interval ti phi = Certified.boolean_bdd ti phi
-let boolean_safe = Exact.boolean_safe
+let boolean_safe ?step ti phi = Exact.boolean_safe ?step ti phi
+let safe phi = Safe_plan.is_safe phi
 let boolean = Exact.boolean
 
 let boolean_mc ?(seed = 0xC0FFEE) ~samples ti phi =

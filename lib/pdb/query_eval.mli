@@ -9,8 +9,9 @@
       the ground-truth oracle.
     - {b Lineage + BDD}: compile the query's lineage, weighted model
       count.  Exact, fast in practice, handles all of FO.
-    - {b Safe plan}: lifted inference, polynomial, only for hierarchical
-      CQs without self-joins (falls back to [None] otherwise).
+    - {b Safe plan}: lifted inference for unions of conjunctive queries,
+      polynomial; [None] on the hard side of the dichotomy, where the
+      lineage engine takes over.
     - {b Monte Carlo}: sample worlds; anytime estimate with a standard
       error.
 
@@ -37,9 +38,18 @@ val boolean_bdd_rational : Ti_table.t -> Fo.t -> Rational.t
 val boolean_bdd_float : Ti_table.t -> Fo.t -> float
 val boolean_bdd_interval : Ti_table.t -> Fo.t -> Interval.t
 
-val boolean_safe : Ti_table.t -> Fo.t -> Rational.t option
-(** [None] when the query is not a safe (hierarchical, self-join-free)
-    conjunctive query. *)
+val boolean_safe :
+  ?step:(unit -> unit) -> Ti_table.t -> Fo.t -> Rational.t option
+(** The lifted (extensional) UCQ engine: independent union / join /
+    project and inclusion-exclusion, polynomial time.  [None] when no
+    safe plan applies (the hard side of the dichotomy, or outside the
+    positive existential fragment).  [step] fires once per plan-rule
+    application and may raise to cancel (budget discipline). *)
+
+val safe : Fo.t -> bool
+(** The dichotomy router's syntactic test: [Safe_plan.is_safe] — whether
+    {!boolean_safe} has a certified plan shape (evaluation can still
+    fall back on instance-specific precondition failures). *)
 
 val boolean_mc : ?seed:int -> samples:int -> Ti_table.t -> Fo.t -> mc_result
 
@@ -120,7 +130,8 @@ module Make (C : Prob.CARRIER) : sig
     Fo.t ->
     C.t
 
-  val boolean_safe : Ti_table.t -> Fo.t -> C.t option
+  val boolean_safe :
+    ?step:(unit -> unit) -> Ti_table.t -> Fo.t -> C.t option
 
   val boolean :
     ?extra_domain:Value.t list ->

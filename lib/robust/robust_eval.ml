@@ -1,5 +1,10 @@
 (* The resource-governed supervisor: degradation ladder
-   exact -> anytime -> Monte-Carlo under one shared budget.
+   lifted -> exact -> anytime -> Monte-Carlo under one shared budget.
+
+   The lifted rung is the cheapest: for queries on the tractable side of
+   the dichotomy it evaluates the safe plan on the truncated prefix in
+   polynomial time (no BDD), certifying the same enclosure shape as the
+   exact rung — which is then usually skipped as already converged.
 
    Soundness invariants, in one place:
 
@@ -21,9 +26,10 @@
    construction, so under a [Virtual]-clock budget the whole answer —
    provenance string included — is bit-identical across runs. *)
 
-type engine = Exact | Anytime | Monte_carlo
+type engine = Lifted | Exact | Anytime | Monte_carlo
 
 let engine_to_string = function
+  | Lifted -> "lifted"
   | Exact -> "exact"
   | Anytime -> "anytime"
   | Monte_carlo -> "monte-carlo"
@@ -148,9 +154,32 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
         else if not (Budget.ok parent) then Some "budget exhausted"
         else None
       in
+      rung Lifted
+        (fun () ->
+          if not (Safe_plan.is_safe phi) then
+            Some
+              "no lifted plan: hard side of the dichotomy (grounded rungs \
+               take over)"
+          else common_skip ())
+        (fun () ->
+          let tries, r =
+            run_retried ~what:"robust.lifted" ~rung:0 (fun () ->
+                let b = Budget.child ?max_facts parent in
+                match Approx_eval.boolean_lifted_r ~budget:b src ~eps phi with
+                | Ok res -> res.Approx_eval.bounds
+                | Error e -> Errors.raise_error e)
+          in
+          match r with
+          | Ok iv ->
+            pool iv;
+            (tries, Certified iv)
+          | Error (Errors.Budget_exhausted { partial = Some iv; _ } as e) ->
+            pool iv;
+            (tries, Partial (iv, e))
+          | Error e -> (tries, Failed e));
       rung Exact common_skip (fun () ->
           let tries, r =
-            run_retried ~what:"robust.exact" ~rung:0 (fun () ->
+            run_retried ~what:"robust.exact" ~rung:1 (fun () ->
                 (* Kind caps are per-attempt child budgets: a blown node
                    cap fails this attempt, not the whole ladder. *)
                 let b = Budget.child ?max_bdd_nodes ?max_facts parent in
@@ -176,7 +205,7 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
           else common_skip ())
         (fun () ->
           let tries, r =
-            run_retried ~what:"robust.anytime" ~rung:1 (fun () ->
+            run_retried ~what:"robust.anytime" ~rung:2 (fun () ->
                 let b = Budget.child ?max_bdd_nodes ?max_facts parent in
                 let s =
                   Anytime.create ~eps ~budget:b ?cache_size:bdd_cache_size
@@ -203,7 +232,7 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
           | Error e -> (tries, Failed e));
       rung Monte_carlo common_skip (fun () ->
           let tries, r =
-            run_retried ~what:"robust.mc" ~rung:2 (fun () ->
+            run_retried ~what:"robust.mc" ~rung:3 (fun () ->
                 let cti =
                   match Countable_ti.create_r src with
                   | Ok t -> t

@@ -1,12 +1,19 @@
 (** The resource-governed evaluation supervisor: one entry point that
-    runs the degradation ladder {e exact → anytime → Monte-Carlo} under a
-    single shared {!Budget.t}, retries transient faults with
+    runs the degradation ladder {e lifted → exact → anytime →
+    Monte-Carlo} under a single shared {!Budget.t}, retries transient faults with
     {!Retry.run}, and always returns the narrowest {e certified}
     enclosure it obtained, together with provenance saying which engines
     ran, why each stopped, and what the budget saw.
 
+    The lifted rung runs first: for queries on the tractable side of
+    the Dalvi-Suciu dichotomy it evaluates the certified safe plan on
+    the truncated prefix in polynomial time (no knowledge compilation),
+    and the exact rung is then usually skipped as already converged;
+    queries without a safe plan skip the rung instead.
+
     Soundness contract: {!answer.enclosure} always contains the true
-    [P(Q)].  Each certified rung (exact truncation, anytime session)
+    [P(Q)].  Each certified rung (lifted/exact truncation, anytime
+    session)
     produces a sound enclosure even when interrupted — the engines were
     built so that a budget trip surfaces the last {e completed}
     certificate — and rungs are combined by intersection only for
@@ -22,7 +29,7 @@
     provenance are bit-identical across runs and domain counts, including
     under any {!Faulty_source} schedule. *)
 
-type engine = Exact | Anytime | Monte_carlo
+type engine = Lifted | Exact | Anytime | Monte_carlo
 
 val engine_to_string : engine -> string
 

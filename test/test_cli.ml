@@ -69,6 +69,14 @@ let test_bad_eps () =
   check_exit "eps out of range" 2
     [ "robust"; t; "exists x. R(x)"; "--eps"; "0.9" ]
 
+let test_plan () =
+  (* [plan] is purely syntactic: exits 0 on both sides of the dichotomy
+     (the verdict is the output), 2 on parse errors / free variables. *)
+  check_exit "safe query" 0 [ "plan"; "(exists x. R(x)) | (exists y. S(y))" ];
+  check_exit "hard query" 0 [ "plan"; "exists x y. R(x) & S(x, y) & T(y)" ];
+  check_exit "parse error" 2 [ "plan"; "exists x. R(" ];
+  check_exit "free variable" 2 [ "plan"; "R(x)" ]
+
 let test_mc_with_budget () =
   with_table good_table @@ fun t ->
   check_exit "budgeted mc succeeds" 0
@@ -129,6 +137,7 @@ let () =
           Alcotest.test_case "duplicate fact" `Quick test_duplicate_fact;
           Alcotest.test_case "free variable" `Quick test_free_variable_query;
           Alcotest.test_case "bad eps" `Quick test_bad_eps;
+          Alcotest.test_case "plan" `Quick test_plan;
         ] );
       ( "budgets",
         [

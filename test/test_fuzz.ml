@@ -1,5 +1,5 @@
 (* The differential fuzzing harness: a deterministic ~200-case smoke run
-   across all five engines (the PR's acceptance gate), bit-reproducibility,
+   across all six engines (the PR's acceptance gate), bit-reproducibility,
    corpus round-trips, and replay of the checked-in regression corpus.
    The corpus files are build dependencies (see test/dune), so they are
    available under ./corpus relative to the test's working directory. *)
@@ -140,7 +140,7 @@ let () =
     [
       ( "smoke",
         [
-          Alcotest.test_case "200 cases, five engines, clean" `Slow
+          Alcotest.test_case "200 cases, six engines, clean" `Slow
             test_smoke_200;
           Alcotest.test_case "bit-reproducible" `Quick test_reproducible;
           Alcotest.test_case "seed-sensitive" `Quick

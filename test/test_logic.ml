@@ -242,12 +242,41 @@ let test_safety_classification () =
       ("exists x y. R(x) & S(x, y) & T(y)", false) (* non-hierarchical *);
       ("exists x. R(x) & S(x)", true);
       ("exists x y. R(x) & S(y)", true) (* disconnected *);
-      ("exists x y. R(x, y) & R(y, x)", false) (* self-join *);
-      ("exists x. R(x) | S(x)", false) (* not a CQ *);
+      ("exists x y. R(x, y) & R(y, x)", false) (* entangled self-join *);
+      ("exists x. R(x) | S(x)", true) (* UCQ: independent union *);
       ("exists x. !R(x)", false);
       ("R(1)", true);
       ("exists x. R(x) & x = 1", true) (* constant folded *);
+      ("exists x. R(x) & x = 1 & x = 2", true) (* unsatisfiable: plan 0 *);
+      ("exists x. R(x, 1) & R(x, 2)", true) (* position-consistent self-join *);
+      ("(exists x. R(x) & S(x)) | (exists y. R(y) & T(y))", true)
+      (* UCQ separator + inclusion-exclusion *);
+      ("(exists x. R(x)) | (exists y. S(y) & T(y))", true);
+      ("R(1) | (exists x. R(x) & S(x))", false) (* ground atom entangled *);
+      ("forall x. R(x)", false);
     ]
+
+let test_plan_shapes () =
+  (* The certificate itself: rule structure, not just the verdict. *)
+  let plan q =
+    match Safe_plan.plan_of (p q) with
+    | Some pl -> Safe_plan.plan_to_string pl
+    | None -> "<none>"
+  in
+  Alcotest.(check bool) "union rule fires" true
+    (String.length (plan "(exists x. R(x)) | (exists y. S(y))") > 0
+    && String.sub (plan "(exists x. R(x)) | (exists y. S(y))") 0 5 = "union");
+  Alcotest.(check string) "contradictory equalities plan to zero" "0"
+    (plan "exists x. R(x) & x = 1 & x = 2");
+  Alcotest.(check bool) "inclusion-exclusion fires" true
+    (let s = plan "(exists x. R(x) & S(x)) | (exists y. R(y) & T(y))" in
+     (* the shared R forces a UCQ separator whose body is incl-excl *)
+     String.length s > 0
+     && Option.is_some
+          (String.index_opt s 'i' (* "incl-excl" occurs *))
+     && String.sub s 0 7 = "project");
+  Alcotest.(check string) "hard query has no plan" "<none>"
+    (plan "exists x y. R(x) & S(x, y) & T(y)")
 
 module SP = Safe_plan.Make (Prob.Rational_carrier)
 
@@ -291,6 +320,67 @@ let test_safe_plan_rejects_unsafe () =
      = None);
   Alcotest.(check bool) "self join rejected" true
     (SP.probability ~weight:w ~facts (p "exists x y. S(x, y) & S(y, x)") = None)
+
+let test_safe_plan_unsat_equalities () =
+  (* Regression: the old collect silently picked one of two conflicting
+     constant bindings and answered P(R(1)); the answer is 0. *)
+  let facts = [ Fact.make "R" [ i 1 ]; Fact.make "R" [ i 2 ] ] in
+  let w _ = Rational.half in
+  (match
+     SP.probability ~weight:w ~facts (p "exists x. R(x) & x = 1 & x = 2")
+   with
+  | Some pr -> Alcotest.(check string) "0" "0" (Rational.to_string pr)
+  | None -> Alcotest.fail "unsatisfiable query must answer 0, not fall back");
+  match Safe_plan.of_sentence (p "exists x. R(x) & x = 1 & x = 2") with
+  | Some q ->
+    Alcotest.(check bool) "of_sentence flags unsat" true
+      (Safe_plan.is_unsatisfiable q)
+  | None -> Alcotest.fail "of_sentence must recognize the CQ shape"
+
+let test_safe_plan_duplicate_atoms () =
+  (* Regression: equality substitution collapses R(x)[x:=1] and R(1) into
+     syntactically identical duplicates — idempotent, not a self-join. *)
+  (match Safe_plan.of_sentence (p "exists x. R(x) & x = 1 & R(1)") with
+  | Some q ->
+    Alcotest.(check bool) "duplicates are not a self-join" false
+      (Safe_plan.has_self_join q)
+  | None -> Alcotest.fail "CQ shape");
+  let facts = [ Fact.make "R" [ i 1 ] ] in
+  let w _ = Rational.half in
+  match SP.probability ~weight:w ~facts (p "exists x. R(x) & x = 1 & R(1)") with
+  | Some pr -> Alcotest.(check string) "1/2" "1/2" (Rational.to_string pr)
+  | None -> Alcotest.fail "duplicate atoms must keep the fast path"
+
+let test_safe_plan_union () =
+  (* Independent union: P = 1 - (1 - 1/2)(1 - 1/3) = 2/3. *)
+  let facts = [ Fact.make "R" [ i 1 ]; Fact.make "S" [ i 1 ] ] in
+  let w = weight_of [ ("R(1)", Rational.half); ("S(1)", Rational.of_ints 1 3) ] in
+  match
+    SP.probability ~weight:w ~facts (p "(exists x. R(x)) | (exists y. S(y))")
+  with
+  | Some pr -> Alcotest.(check string) "2/3" "2/3" (Rational.to_string pr)
+  | None -> Alcotest.fail "independent union rejected"
+
+let test_safe_plan_incl_excl () =
+  (* Shared relation forces a UCQ separator, then inclusion-exclusion per
+     value: p = P(RS) + P(RT) - P(RST) = 1/6 + 1/8 - 1/24 = 1/4. *)
+  let facts =
+    [ Fact.make "R" [ i 1 ]; Fact.make "S" [ i 1 ]; Fact.make "T" [ i 1 ] ]
+  in
+  let w =
+    weight_of
+      [
+        ("R(1)", Rational.half);
+        ("S(1)", Rational.of_ints 1 3);
+        ("T(1)", Rational.of_ints 1 4);
+      ]
+  in
+  match
+    SP.probability ~weight:w ~facts
+      (p "(exists x. R(x) & S(x)) | (exists y. R(y) & T(y))")
+  with
+  | Some pr -> Alcotest.(check string) "1/4" "1/4" (Rational.to_string pr)
+  | None -> Alcotest.fail "inclusion-exclusion rejected"
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -356,6 +446,86 @@ let props =
         | _ -> true);
   ]
 
+(* Random rank-<=3 UCQs over a small schema, paired with a random small TI
+   table: whenever the lifted engine answers, it must agree with the
+   enumeration oracle by exact rational equality.  Disjuncts share
+   relations often enough to exercise independent union, UCQ separators
+   and inclusion-exclusion, not just single-CQ plans. *)
+let arb_ucq_case =
+  let open QCheck.Gen in
+  let fact_pool =
+    List.map (fun n -> Fact.make "R" [ i n ]) [ 1; 2; 3 ]
+    @ List.map (fun n -> Fact.make "S" [ i n ]) [ 1; 2; 3 ]
+    @ List.concat_map
+        (fun a -> List.map (fun b -> Fact.make "T" [ i a; i b ]) [ 1; 2 ])
+        [ 1; 2 ]
+  in
+  let rat = map (fun n -> Rational.of_ints n 8) (int_range 1 7) in
+  let gen_table =
+    list_size (int_range 1 8) (oneofl fact_pool) >>= fun fs ->
+    let fs = List.sort_uniq Fact.compare fs in
+    let rec probs = function
+      | [] -> return []
+      | f :: rest ->
+        rat >>= fun pr ->
+        probs rest >>= fun tl -> return ((f, pr) :: tl)
+    in
+    probs fs
+  in
+  let term vars =
+    oneof
+      (map (fun n -> Fo.cint n) (int_range 1 3)
+      :: List.map (fun v -> return (Fo.v v)) vars)
+  in
+  let gen_atom vars =
+    oneof
+      [
+        map (fun t -> Fo.atom "R" [ t ]) (term vars);
+        map (fun t -> Fo.atom "S" [ t ]) (term vars);
+        map2 (fun t u -> Fo.atom "T" [ t; u ]) (term vars) (term vars);
+      ]
+  in
+  let gen_cq =
+    int_range 1 3 >>= fun nv ->
+    let vars = List.filteri (fun k _ -> k < nv) [ "x"; "y"; "z" ] in
+    list_size (int_range 1 3) (gen_atom vars) >>= fun atoms ->
+    oneof
+      [
+        return atoms;
+        map
+          (fun n -> Fo.Eq (Fo.v (List.hd vars), Fo.cint n) :: atoms)
+          (int_range 1 3);
+      ]
+    >>= fun lits -> return (Fo.exists_many vars (Fo.conj lits))
+  in
+  let gen_case =
+    gen_table >>= fun entries ->
+    list_size (int_range 1 3) gen_cq >>= fun cqs ->
+    return (Fo.disj cqs, entries)
+  in
+  let print (phi, entries) =
+    Printf.sprintf "%s on {%s}" (Fo.to_string phi)
+      (String.concat "; "
+         (List.map
+            (fun (f, pr) ->
+              Fact.to_string f ^ " @ " ^ Rational.to_string pr)
+            entries))
+  in
+  QCheck.make ~print gen_case
+
+let ucq_props =
+  [
+    QCheck.Test.make ~name:"lifted UCQ = enumeration oracle (rank <= 3)"
+      ~count:400 arb_ucq_case (fun (phi, entries) ->
+        let ti = Ti_table.create entries in
+        match Query_eval.boolean_safe ti phi with
+        | None -> true (* routed to the grounded engines; nothing to check *)
+        | Some pr -> Rational.equal pr (Query_eval.boolean_enum ti phi));
+    QCheck.Test.make ~name:"planner verdict matches Query_eval.safe"
+      ~count:400 arb_ucq_case (fun (phi, _) ->
+        Query_eval.safe phi = (Safe_plan.plan_of phi <> None));
+  ]
+
 let () =
   Alcotest.run "logic"
     [
@@ -394,9 +564,18 @@ let () =
       ( "safe-plan",
         [
           Alcotest.test_case "classification" `Quick test_safety_classification;
+          Alcotest.test_case "plan shapes" `Quick test_plan_shapes;
           Alcotest.test_case "single relation" `Quick test_safe_plan_single_rel;
           Alcotest.test_case "join" `Quick test_safe_plan_join;
           Alcotest.test_case "rejects unsafe" `Quick test_safe_plan_rejects_unsafe;
+          Alcotest.test_case "unsat equalities" `Quick
+            test_safe_plan_unsat_equalities;
+          Alcotest.test_case "duplicate atoms" `Quick
+            test_safe_plan_duplicate_atoms;
+          Alcotest.test_case "independent union" `Quick test_safe_plan_union;
+          Alcotest.test_case "inclusion-exclusion" `Quick
+            test_safe_plan_incl_excl;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
+      ("ucq-properties", List.map QCheck_alcotest.to_alcotest ucq_props);
     ]

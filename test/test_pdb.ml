@@ -453,6 +453,25 @@ let test_free_var_guard () =
     (Invalid_argument "Query_eval: query has free variables x") (fun () ->
       ignore (Query_eval.boolean_enum ti (parse "R(x)")))
 
+let test_dichotomy_routing_counters () =
+  (* Regression for the has_self_join fix: after equality substitution the
+     two R atoms are syntactically identical, so dedup must keep this on
+     the lifted path — observable through the router's counters. *)
+  let c_safe = Stats.counter "query.safe_plan" in
+  let c_bdd = Stats.counter "query.bdd_fallback" in
+  let easy = parse "exists x. R(x) & x = 1 & R(1)" in
+  let hard = parse "exists x y. R(x) & T(x, y) & S(y)" in
+  Alcotest.(check bool) "router verdicts" true
+    (Query_eval.safe easy && not (Query_eval.safe hard));
+  let before_safe = Stats.count c_safe in
+  check_q "deduped query value" (q 1 2) (Query_eval.boolean ti easy);
+  Alcotest.(check int) "safe_plan counter fires on deduped duplicate atoms"
+    (before_safe + 1) (Stats.count c_safe);
+  let before_bdd = Stats.count c_bdd in
+  ignore (Query_eval.boolean ti hard);
+  Alcotest.(check int) "bdd_fallback counter fires on the hard query"
+    (before_bdd + 1) (Stats.count c_bdd)
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 (* ------------------------------------------------------------------ *)
@@ -650,6 +669,8 @@ let () =
           Alcotest.test_case "marginals" `Quick test_marginals;
           Alcotest.test_case "marginals = view" `Quick test_marginals_match_view;
           Alcotest.test_case "free var guard" `Quick test_free_var_guard;
+          Alcotest.test_case "dichotomy routing counters" `Quick
+            test_dichotomy_routing_counters;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
     ]

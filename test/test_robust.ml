@@ -545,6 +545,38 @@ let test_robust_cmp_skips_anytime () =
   in
   Alcotest.(check bool) "anytime rung skipped for Cmp" true skipped
 
+let outcome_of a engine =
+  List.find_map
+    (fun at ->
+      if at.Robust_eval.engine = engine then Some at.Robust_eval.outcome
+      else None)
+    a.Robust_eval.provenance.attempts
+
+let test_robust_lifted_rung () =
+  (* Safe query: the lifted rung answers first and certifies. *)
+  let a =
+    Robust_eval.query ~budget:(generous_budget ()) ~eps:0.01 ~mc_samples:500
+      ~seed:6 (geo_source ()) (parse "exists x. R(x)")
+  in
+  (match outcome_of a Robust_eval.Lifted with
+  | Some (Robust_eval.Certified _) -> ()
+  | Some _ -> Alcotest.fail "lifted rung did not certify the safe query"
+  | None -> Alcotest.fail "no lifted attempt recorded");
+  Alcotest.(check bool) "contains the limit" true
+    (Interval.contains a.Robust_eval.enclosure geo_limit);
+  (* Hard query: the rung is skipped (a query property, not a fault),
+     and the grounded rungs still answer. *)
+  let b =
+    Robust_eval.query ~budget:(generous_budget ()) ~eps:0.05 ~mc_samples:500
+      ~seed:6 (geo_source ())
+      (parse "forall x. R(x)")
+  in
+  match outcome_of b Robust_eval.Lifted with
+  | Some (Robust_eval.Skipped _) -> ()
+  | Some _ ->
+    Alcotest.fail "lifted rung should be skipped on the hard side"
+  | None -> Alcotest.fail "no lifted attempt recorded"
+
 (* ------------------------------------------------------------------ *)
 
 let props =
@@ -607,6 +639,7 @@ let () =
           Alcotest.test_case "bit-identical under faults" `Quick
             test_robust_bit_identical_under_faults;
           Alcotest.test_case "Cmp skips anytime" `Quick test_robust_cmp_skips_anytime;
+          Alcotest.test_case "lifted rung" `Quick test_robust_lifted_rung;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
     ]
