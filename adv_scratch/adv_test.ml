@@ -1,0 +1,68 @@
+(* Random differential fuzz: lifted vs enumeration, broad UCQ generator *)
+let i n = Value.Int n
+
+let () =
+  Random.self_init ();
+  let fails = ref 0 and answered = ref 0 and total = 20000 in
+  let fact_pool =
+    List.map (fun n -> Fact.make "R" [ i n ]) [ 1; 2; 3 ]
+    @ List.map (fun n -> Fact.make "S" [ i n ]) [ 1; 2; 3 ]
+    @ List.concat_map
+        (fun a -> List.map (fun b -> Fact.make "T" [ i a; i b ]) [ 1; 2; 3 ])
+        [ 1; 2; 3 ]
+  in
+  let rand_table () =
+    let n = 1 + Random.int 9 in
+    let fs = List.init n (fun _ -> List.nth fact_pool (Random.int (List.length fact_pool))) in
+    let fs = List.sort_uniq Fact.compare fs in
+    List.map (fun f -> (f, Rational.of_ints (1 + Random.int 7) 8)) fs
+  in
+  let vars = [ "x"; "y"; "z" ] in
+  let rand_term nv =
+    if Random.int 3 = 0 then Fo.cint (1 + Random.int 3)
+    else Fo.v (List.nth vars (Random.int nv))
+  in
+  let rand_atom nv =
+    match Random.int 4 with
+    | 0 -> Fo.atom "R" [ rand_term nv ]
+    | 1 -> Fo.atom "S" [ rand_term nv ]
+    | 2 -> Fo.atom "T" [ rand_term nv; rand_term nv ]
+    | _ -> Fo.Eq (rand_term nv, rand_term nv)
+  in
+  (* random positive existential formula with nested &, |, exists *)
+  let rec rand_body nv depth =
+    if depth = 0 then rand_atom nv
+    else
+      match Random.int 5 with
+      | 0 | 1 -> Fo.And (rand_body nv (depth - 1), rand_body nv (depth - 1))
+      | 2 | 3 -> Fo.Or (rand_body nv (depth - 1), rand_body nv (depth - 1))
+      | _ -> rand_atom nv
+  in
+  let rand_query () =
+    let nv = 1 + Random.int 3 in
+    let used = List.filteri (fun k _ -> k < nv) vars in
+    Fo.exists_many used (rand_body nv (1 + Random.int 3))
+  in
+  for _ = 1 to total do
+    let entries = rand_table () in
+    let ti = Ti_table.create entries in
+    let phi = rand_query () in
+    match Query_eval.boolean_safe ti phi with
+    | None -> ()
+    | Some p ->
+      incr answered;
+      let truth = Query_eval.boolean_enum ti phi in
+      if not (Rational.equal p truth) then begin
+        incr fails;
+        if !fails <= 5 then
+          Printf.printf "FAIL lifted=%s oracle=%s\n  query=%s\n  table=%s\n"
+            (Rational.to_string p) (Rational.to_string truth)
+            (Fo.to_string phi)
+            (String.concat "; "
+               (List.map
+                  (fun (f, pr) -> Fact.to_string f ^ "@" ^ Rational.to_string pr)
+                  entries))
+      end
+  done;
+  Printf.printf "done: %d cases, %d answered by lifted engine, %d FAILURES\n"
+    total !answered !fails
