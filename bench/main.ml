@@ -1100,6 +1100,102 @@ let e21 () =
   metric "E21" "speedup" !last_speedup
 
 (* ------------------------------------------------------------------ *)
+(* E22: batched evaluation vs the one-at-a-time loop.  The members are
+   syntactic variants (alpha-renamings and operand swaps) of one negated
+   UCQ: the negation puts it past the safe-plan fragment, and its
+   first-occurrence variable order places every T after the S block — the
+   same exponential-OBDD frontier as E21.  A one-at-a-time loop pays that
+   compilation and its weighted model count once per member; the batch
+   compiles it once per shard and answers the remaining members from the
+   shared unique table, operation cache, and fold_prob_many memo, so the
+   per-query cost collapses to the O(n) lineage grounding.  A few safe
+   members ride along to exercise the lifted route.  Everything is exact
+   rational arithmetic, so batch answers must equal the sequential
+   engine's bit for bit, at every domain count. *)
+
+let e22 () =
+  header "E22" "Batch_eval: shared-store batch vs one-at-a-time Query_eval loop";
+  let n = if !smoke then 12 else 14 in
+  let cache_size = 1 lsl 19 in
+  let ti =
+    Ti_table.create
+      (List.concat_map
+         (fun k ->
+           [
+             (Fact.make "R" [ i k ], q 1 3);
+             (Fact.make "S" [ i k ], q 1 2);
+             (Fact.make "T" [ i k ], q 2 5);
+           ])
+         (List.init n (fun k -> k)))
+  in
+  let hard k =
+    (* Alpha-renamed (fresh bound names per member) and, on odd members,
+       operand-swapped: distinct syntax, identical Boolean function. *)
+    if k mod 2 = 0 then
+      parse
+        (Printf.sprintf
+           "!((exists x%d. R(x%d) & S(x%d)) | (exists y%d. S(y%d) & T(y%d)))"
+           k k k k k k)
+    else
+      parse
+        (Printf.sprintf
+           "!((exists y%d. T(y%d) & S(y%d)) | (exists x%d. S(x%d) & R(x%d)))"
+           k k k k k k)
+  in
+  let members =
+    Array.init 24 (fun k ->
+        if k mod 6 = 5 then
+          parse (Printf.sprintf "exists z%d. R(z%d) & S(z%d)" k k k)
+        else hard k)
+  in
+  let m = Array.length members in
+  let t0 = Unix.gettimeofday () in
+  let seq = Array.map (fun phi -> Query_eval.boolean ~cache_size ti phi) members in
+  let seq_t = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let t0 = Unix.gettimeofday () in
+  let r = Batch_eval.boolean ~cache_size ti members in
+  let batch_t = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let agree = ref true in
+  Array.iteri
+    (fun idx (mem : Rational.t Batch_eval.member) ->
+      if not (Rational.equal mem.Batch_eval.prob seq.(idx)) then agree := false)
+    r.Batch_eval.members;
+  if not !agree then failwith "E22: batch and sequential engines disagree";
+  let identical = ref true in
+  List.iter
+    (fun d ->
+      let rd = Batch_eval.boolean ~cache_size ~domains:d ti members in
+      Array.iteri
+        (fun idx (mem : Rational.t Batch_eval.member) ->
+          if
+            not
+              (Rational.equal mem.Batch_eval.prob
+                 r.Batch_eval.members.(idx).Batch_eval.prob)
+          then identical := false)
+        rd.Batch_eval.members)
+    [ 2; 4 ];
+  if not !identical then failwith "E22: answers moved with the domain count";
+  let speedup = seq_t /. batch_t in
+  row "  table: %d values x {R,S,T}; %d members (%d lifted, %d compiled, pad %d)\n"
+    n m r.Batch_eval.lifted r.Batch_eval.compiled
+    (List.length r.Batch_eval.padding);
+  row "  %-28s %-12s %s\n" "evaluator" "seconds" "per query";
+  row "  %-28s %-12.4f %.4f\n" "one-at-a-time Query_eval" seq_t
+    (seq_t /. float_of_int m);
+  row "  %-28s %-12.4f %.4f\n" "Batch_eval (1 shard)" batch_t
+    (batch_t /. float_of_int m);
+  row "  batch == sequential (exact rationals): %b\n" !agree;
+  row "  bit-identical across domains 1/2/4: %b\n" !identical;
+  row "  throughput per query: %.1fx (acceptance >= 10x: %b)\n" speedup
+    (speedup >= 10.0);
+  metric "E22" "speedup" speedup;
+  metric "E22" "seq_seconds" seq_t;
+  metric "E22" "batch_seconds" batch_t;
+  metric "E22" "members" (float_of_int m);
+  metric "E22" "compiled" (float_of_int r.Batch_eval.compiled);
+  metric "E22" "lifted" (float_of_int r.Batch_eval.lifted)
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,14 +1204,14 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
-    ("E19", e19); ("E20", e20); ("E21", e21);
+    ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
-let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21" ]
+let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22" ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -74,8 +74,15 @@ let op_ite = 4
 
 let rec round_pow2 acc n = if acc >= n then acc else round_pow2 (acc * 2) n
 
+let default_cache_size = 1 lsl 11
+
+let effective_cache_size requested =
+  if requested <= 0 then
+    invalid_arg "Bdd.effective_cache_size: cache_size must be positive";
+  round_pow2 64 requested
+
 let manager ?(order = Fun.id) ?(tick = Fun.id) ?(on_free = fun _ -> ())
-    ?(cache_size = 1 lsl 11) ?(gc_threshold = max_int) () =
+    ?(cache_size = default_cache_size) ?(gc_threshold = max_int) () =
   if cache_size <= 0 then
     invalid_arg "Bdd.manager: cache_size must be positive";
   if gc_threshold <= 0 then
@@ -518,14 +525,17 @@ let equal a b = a.mgr == b.mgr && a.idx = b.idx
 let node_count m = m.live
 let allocated_count m = m.allocated
 let peak_count m = m.peak
+let cache_size m = m.c_mask + 1
 
 (* -------------------- traversals -------------------- *)
 
 (* The one memoized bottom-up DAG pass every reachability walk in this
    file reduces to: [node] sees each distinct internal node exactly once
    with its children's results. *)
-let fold_dag m root ~leaf ~node =
-  let memo = Hashtbl.create 64 in
+(* [fold_dag_shared] threads an external memo so a batch of roots over
+   one manager can share a single bottom-up sweep: a node reachable from
+   several roots is folded exactly once across the whole batch. *)
+let fold_dag_shared m memo root ~leaf ~node =
   let rec go i =
     if i < 2 then leaf (i = 1)
     else
@@ -537,6 +547,9 @@ let fold_dag m root ~leaf ~node =
         r
   in
   go root
+
+let fold_dag m root ~leaf ~node =
+  fold_dag_shared m (Hashtbl.create 64) root ~leaf ~node
 
 let size t =
   let n = ref 0 in
@@ -650,6 +663,20 @@ let fold_prob ~zero ~one ~node t =
   fold_dag t.mgr t.idx
     ~leaf:(fun b -> if b then one else zero)
     ~node:(fun v _ lo hi -> node v lo hi)
+
+let fold_prob_many ~zero ~one ~node roots =
+  if Array.length roots = 0 then [||]
+  else begin
+    let m = roots.(0).mgr in
+    let idxs = Array.map (fun t -> same m t "fold_prob_many") roots in
+    let memo = Hashtbl.create 64 in
+    Array.map
+      (fun i ->
+        fold_dag_shared m memo i
+          ~leaf:(fun b -> if b then one else zero)
+          ~node:(fun v _ lo hi -> node v lo hi))
+      idxs
+  end
 
 let pp fmt t =
   let m = t.mgr in

@@ -46,8 +46,12 @@ val manager :
     pair keeps {!Budget}-style accounting keyed to {e live} nodes.
 
     [cache_size] is the number of entries in the direct-mapped operation
-    cache (rounded up to a power of two; default [2^11]).  The cache is
-    lossy: a conflicting entry overwrites, never chains.
+    cache (rounded up to a power of two >= 64; default [2^11] =
+    {!default_cache_size}).  The cache is lossy: a conflicting entry
+    overwrites, never chains.  The rounding is observable: query the
+    size actually in effect with {!cache_size} (on a manager) or
+    {!effective_cache_size} (on a requested value), so configuration
+    reports never echo a knob the kernel silently adjusted.
 
     [gc_threshold] triggers an automatic collection at the next safe
     point once that many nodes have been allocated since the previous
@@ -130,6 +134,21 @@ val allocated_count : manager -> int
 val peak_count : manager -> int
 (** High-water mark of {!node_count}. *)
 
+val cache_size : manager -> int
+(** The {e effective} number of operation-cache entries — the requested
+    [cache_size] rounded up to a power of two >= 64, never the raw
+    request. *)
+
+val effective_cache_size : int -> int
+(** [effective_cache_size requested] is the operation-cache size
+    {!manager} would actually use for [?cache_size:requested] — the same
+    power-of-two rounding, exposed so front ends can report the true
+    configuration without building a manager.
+    @raise Invalid_argument if [requested] is not positive. *)
+
+val default_cache_size : int
+(** The [cache_size] used when the knob is omitted ([2^11]). *)
+
 val eval : (int -> bool) -> t -> bool
 
 val support : t -> int list
@@ -152,5 +171,15 @@ val fold_prob : zero:'a -> one:'a -> node:(int -> 'a -> 'a -> 'a) -> t -> 'a
 (** Memoized bottom-up fold: each distinct node is visited once;
     [node v lo hi] receives the results for the low and high children.
     This is the single pass weighted model counting reduces to. *)
+
+val fold_prob_many :
+  zero:'a -> one:'a -> node:(int -> 'a -> 'a -> 'a) -> t array -> 'a array
+(** {!fold_prob} over a batch of roots of {e one} manager, sharing a
+    single memo table across the whole sweep: a node reachable from
+    several roots contributes one [node] call total, so the cost of
+    counting a batch is the size of the {e union} of the DAGs, not the
+    sum.  Results are positionally aligned with the input.  Returns
+    [[||]] on the empty batch.
+    @raise Invalid_argument if the roots span different managers. *)
 
 val pp : Format.formatter -> t -> unit

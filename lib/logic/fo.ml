@@ -113,6 +113,65 @@ let substitute bindings f =
   in
   go bindings f
 
+let all_vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom (_, ts) ->
+      List.fold_left (fun acc t -> SSet.union acc (term_vars t)) acc ts
+    | Eq (a, b) | Cmp (_, a, b) ->
+      SSet.union acc (SSet.union (term_vars a) (term_vars b))
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) -> go (go acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (SSet.add x acc) f
+  in
+  go SSet.empty f
+
+let rename_bound rename f =
+  let names = all_vars f in
+  (* [taken] records bound-name images already committed; a second
+     distinct source mapping to the same image could capture across
+     nested scopes, so it is rejected along with images that collide
+     with any name already occurring in the formula. *)
+  let taken = Hashtbl.create 8 in
+  let fresh x =
+    let x' = rename x in
+    if x' <> x then begin
+      if SSet.mem x' names then
+        invalid_arg
+          (Printf.sprintf
+             "Fo.rename_bound: image %s of %s already occurs in the formula"
+             x' x);
+      match Hashtbl.find_opt taken x' with
+      | Some y when y <> x ->
+        invalid_arg
+          (Printf.sprintf "Fo.rename_bound: %s and %s both map to %s" y x x')
+      | _ -> Hashtbl.replace taken x' x
+    end;
+    x'
+  in
+  let rename_term env = function
+    | Var x as t -> (
+        match SMap.find_opt x env with Some x' -> Var x' | None -> t)
+    | Const _ as t -> t
+  in
+  let rec go env = function
+    | (True | False) as f -> f
+    | Atom (r, ts) -> Atom (r, List.map (rename_term env) ts)
+    | Eq (a, b) -> Eq (rename_term env a, rename_term env b)
+    | Cmp (op, a, b) -> Cmp (op, rename_term env a, rename_term env b)
+    | Not f -> Not (go env f)
+    | And (f, g) -> And (go env f, go env g)
+    | Or (f, g) -> Or (go env f, go env g)
+    | Implies (f, g) -> Implies (go env f, go env g)
+    | Exists (x, f) ->
+      let x' = fresh x in
+      Exists (x', go (SMap.add x x' env) f)
+    | Forall (x, f) ->
+      let x' = fresh x in
+      Forall (x', go (SMap.add x x' env) f)
+  in
+  go SMap.empty f
+
 let rec size = function
   | True | False | Atom _ | Eq _ | Cmp _ -> 1
   | Not f -> 1 + size f

@@ -68,6 +68,16 @@ val substitute : (string * Value.t) list -> t -> t
 (** Capture-free substitution of constants for free variables (bound
     occurrences are untouched). *)
 
+val rename_bound : (string -> string) -> t -> t
+(** [rename_bound f phi]: rename every bound variable [x] (the binder
+    and the occurrences it captures) to [f x], leaving free variables
+    untouched — an α-renaming, so the result is logically equivalent to
+    [phi].  Safety is checked, not assumed: the call raises
+    [Invalid_argument] if some image [f x <> x] already occurs anywhere
+    in [phi] (free or bound), or if two distinct bound names map to the
+    same image — either could capture.  Shadowing in [phi] is preserved
+    (equal bound names rename equally). *)
+
 val size : t -> int
 
 val equal : t -> t -> bool

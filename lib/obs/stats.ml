@@ -1,61 +1,80 @@
 (* Process-global registry of named monotone counters and wall-clock
-   timers.  Counters are plain mutable ints created once (at module
+   timers.  Counters are [Atomic.t] ints created once (at module
    initialisation of the instrumented code), so the hot-path cost of an
-   event is one increment; all string handling happens at registration
-   and reporting time only. *)
+   event is one atomic increment and instrumented code may run in any
+   domain; all string handling happens at registration and reporting
+   time only.  The registry itself is guarded by a mutex, but that lock
+   is only ever taken on the cold paths (create-or-lookup, snapshot,
+   reset), never per event. *)
 
-type counter = { c_name : string; mutable c : int }
-type timer = { t_name : string; mutable seconds : float }
+type counter = { c_name : string; c : int Atomic.t }
+type timer = { t_name : string; seconds : float Atomic.t }
 
 type entry = Counter of counter | Timer of timer
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some (Timer _) ->
-    invalid_arg (Printf.sprintf "Stats.counter: %s is a timer" name)
-  | None ->
-    let c = { c_name = name; c = 0 } in
-    Hashtbl.add registry name (Counter c);
-    c
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some (Timer _) ->
+        invalid_arg (Printf.sprintf "Stats.counter: %s is a timer" name)
+      | None ->
+        let c = { c_name = name; c = Atomic.make 0 } in
+        Hashtbl.add registry name (Counter c);
+        c)
 
-let incr c = c.c <- c.c + 1
-let add c k = c.c <- c.c + k
-let count c = c.c
+let incr c = Atomic.incr c.c
+let add c k = ignore (Atomic.fetch_and_add c.c k)
+let count c = Atomic.get c.c
 
 let timer name =
-  match Hashtbl.find_opt registry name with
-  | Some (Timer t) -> t
-  | Some (Counter _) ->
-    invalid_arg (Printf.sprintf "Stats.timer: %s is a counter" name)
-  | None ->
-    let t = { t_name = name; seconds = 0.0 } in
-    Hashtbl.add registry name (Timer t);
-    t
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Timer t) -> t
+      | Some (Counter _) ->
+        invalid_arg (Printf.sprintf "Stats.timer: %s is a counter" name)
+      | None ->
+        let t = { t_name = name; seconds = Atomic.make 0.0 } in
+        Hashtbl.add registry name (Timer t);
+        t)
+
+(* Lock-free accumulate: retry the compare-and-set until no concurrent
+   writer slipped in between the read and the update.  [compare_and_set]
+   compares the boxed float physically, which is exactly the freshness
+   test needed here. *)
+let rec accumulate cell s =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. s)) then accumulate cell s
 
 let time t f =
   let start = Unix.gettimeofday () in
   Fun.protect
-    ~finally:(fun () -> t.seconds <- t.seconds +. (Unix.gettimeofday () -. start))
+    ~finally:(fun () -> accumulate t.seconds (Unix.gettimeofday () -. start))
     f
 
 let add_elapsed t s =
   if s < 0.0 || Float.is_nan s then invalid_arg "Stats.add_elapsed"
-  else t.seconds <- t.seconds +. s
+  else accumulate t.seconds s
 
-let elapsed t = t.seconds
+let elapsed t = Atomic.get t.seconds
 
 type snapshot = (string * float) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun _ e acc ->
-      match e with
-      | Counter c -> (c.c_name, float_of_int c.c) :: acc
-      | Timer t -> (t.t_name ^ ".seconds", t.seconds) :: acc)
-    registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          match e with
+          | Counter c -> (c.c_name, float_of_int (Atomic.get c.c)) :: acc
+          | Timer t -> (t.t_name ^ ".seconds", Atomic.get t.seconds) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find snap name =
@@ -71,12 +90,13 @@ let diff later earlier =
   List.map (fun n -> (n, find later n -. find earlier n)) names
 
 let reset () =
-  Hashtbl.iter
-    (fun _ e ->
-      match e with
-      | Counter c -> c.c <- 0
-      | Timer t -> t.seconds <- 0.0)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e with
+          | Counter c -> Atomic.set c.c 0
+          | Timer t -> Atomic.set t.seconds 0.0)
+        registry)
 
 let report fmt snap =
   List.iter

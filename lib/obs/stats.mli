@@ -3,10 +3,16 @@
 
     The hot paths of the system (BDD apply caches, fact-source pulls,
     query-engine dispatch) bump counters created once at module
-    initialisation, so the per-event cost is a single mutable-int
+    initialisation, so the per-event cost is a single atomic-int
     increment — cheap enough to leave on unconditionally.  Consumers
     (the anytime evaluator, the CLI's [--stats] flag, the bench harness)
     read the registry through {!snapshot} and report deltas.
+
+    Every operation is safe to call from any domain: counters and timers
+    are [Atomic]-backed (no increment is ever dropped under concurrent
+    bumps — the batched evaluator's worker domains rely on this), and the
+    registry's create-or-lookup, snapshot and reset paths serialise on an
+    internal mutex that is never taken per event.
 
     No dependencies beyond the standard library and [Unix] (for the
     wall clock). *)
@@ -34,9 +40,10 @@ val time : timer -> (unit -> 'a) -> 'a
     Exception-safe: the duration is recorded even if the thunk raises. *)
 
 val add_elapsed : timer -> float -> unit
-(** Credit a duration measured elsewhere (e.g. inside a worker domain,
-    whose locally accumulated time is merged into the process-global
-    registry after the join — the registry itself is not thread-safe).
+(** Credit a duration measured elsewhere (e.g. a worker domain that
+    accumulated time locally and merges it after the join; direct
+    concurrent credits are also safe — the accumulate is a
+    compare-and-set retry loop, so no duration is ever lost).
     @raise Invalid_argument on negative or nan durations. *)
 
 val elapsed : timer -> float

@@ -7,9 +7,9 @@ module VSet = Set.Make (Value)
 (* Engines *)
 (* ------------------------------------------------------------------ *)
 
-type engine = Exact | Lifted | Approx | Anytime | Mc | Robust
+type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch
 
-let all_engines = [ Exact; Lifted; Approx; Anytime; Mc; Robust ]
+let all_engines = [ Exact; Lifted; Approx; Anytime; Mc; Robust; Batch ]
 
 let engine_to_string = function
   | Exact -> "exact"
@@ -18,6 +18,7 @@ let engine_to_string = function
   | Anytime -> "anytime"
   | Mc -> "mc"
   | Robust -> "robust"
+  | Batch -> "batch"
 
 let engine_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -27,6 +28,7 @@ let engine_of_string s =
   | "anytime" -> Some Anytime
   | "mc" -> Some Mc
   | "robust" -> Some Robust
+  | "batch" -> Some Batch
   | _ -> None
 
 let engines_of_string s =
@@ -48,7 +50,7 @@ let engines_of_string s =
             Error
               (Printf.sprintf
                  "unknown engine %S (expected \
-                  exact|lifted|approx|anytime|mc|robust or all)"
+                  exact|lifted|approx|anytime|mc|robust|batch or all)"
                  p))
       in
       go [] parts
@@ -67,6 +69,7 @@ let engine_of_check name =
   | "anytime" -> Anytime
   | "mc" -> Mc
   | "robust" -> Robust
+  | "batch" -> Batch
   | _ -> Exact
 
 (* ------------------------------------------------------------------ *)
@@ -333,6 +336,96 @@ let run_case ?(engines = all_engines) ?(mc_samples = 1500)
         let u = Lazy.force u in
         let want = Rational.sum (List.map snd (Ti_table.facts case.table)) in
         expect_eq ~what:"E(S_D) (Corollary 4.7)" want (Oracle.expected_size u));
+    (* The batch engine on a small adversarial batch: the query twice
+       (dedup), an alpha-renamed copy (same function, distinct syntax),
+       and its negation (same padding rank, so the complement law holds
+       member-wise inside one batch). *)
+    let batch_queries =
+      lazy
+        (let renamed =
+           (* Primed bound names collide only if the query already uses
+              them; then the copy degrades to one more duplicate. *)
+           match Fo.rename_bound (fun x -> x ^ "'") phi with
+           | r -> r
+           | exception Invalid_argument _ -> phi
+         in
+         [| phi; phi; renamed; Fo.Not phi |])
+    in
+    let batch_result =
+      lazy (Batch_eval.boolean case.table (Lazy.force batch_queries))
+    in
+    check "batch.member" (fun () ->
+        let r = Lazy.force batch_result in
+        let m = r.Batch_eval.members in
+        let p0 = m.(0).Batch_eval.prob in
+        match
+          expect_eq ~what:"batch member 0 vs oracle" (Lazy.force truth_lim) p0
+        with
+        | Some d -> Some d
+        | None ->
+          if m.(1).Batch_eval.route <> Batch_eval.Duplicate 0 then
+            Some "repeated member not routed as Duplicate 0"
+          else if not (Rational.equal m.(1).Batch_eval.prob p0) then
+            Some "duplicate member disagrees with its representative"
+          else if not (Rational.equal m.(2).Batch_eval.prob p0) then
+            Some
+              (Printf.sprintf "alpha-renamed member: %s <> %s"
+                 (rs m.(2).Batch_eval.prob) (rs p0))
+          else if
+            not Rational.(equal (add p0 m.(3).Batch_eval.prob) one)
+          then
+            Some
+              (Printf.sprintf "batch complement: %s + %s <> 1" (rs p0)
+                 (rs m.(3).Batch_eval.prob))
+          else None);
+    check "batch.map" (fun () ->
+        (* The member-wise semantics law: batch member i equals the
+           sequential engine under the batch's own padding (members
+           with a Cmp atom stay unpadded). *)
+        let qs = Lazy.force batch_queries in
+        let r = Lazy.force batch_result in
+        let bpads = Batch_eval.padding case.table qs in
+        let rec go i =
+          if i >= Array.length qs then None
+          else begin
+            let q = qs.(i) in
+            let extra_domain = if Fo.has_cmp q then [] else bpads in
+            let want = Query_eval.boolean ~extra_domain case.table q in
+            match
+              expect_eq
+                ~what:(Printf.sprintf "batch member %d vs sequential" i)
+                want
+                r.Batch_eval.members.(i).Batch_eval.prob
+            with
+            | Some d -> Some d
+            | None -> go (i + 1)
+          end
+        in
+        go 0);
+    check "batch.domains" (fun () ->
+        (* Exact-carrier answers are bit-identical at any domain count. *)
+        let qs = Lazy.force batch_queries in
+        let r1 = Lazy.force batch_result in
+        List.find_map
+          (fun d ->
+            let rd = Batch_eval.boolean ~domains:d case.table qs in
+            let rec go i =
+              if i >= Array.length qs then None
+              else if
+                not
+                  (Rational.equal
+                     rd.Batch_eval.members.(i).Batch_eval.prob
+                     r1.Batch_eval.members.(i).Batch_eval.prob)
+              then
+                Some
+                  (Printf.sprintf
+                     "member %d moved with domains=%d: %s <> %s" i d
+                     (rs rd.Batch_eval.members.(i).Batch_eval.prob)
+                     (rs r1.Batch_eval.members.(i).Batch_eval.prob))
+              else go (i + 1)
+            in
+            go 0)
+          [ 2; 3; 4 ]);
     let src = lazy (Fact_source.of_ti_table case.table) in
     check "approx.estimate" (fun () ->
         (* Compare at the truncation point actually used, as the K_open
@@ -858,7 +951,7 @@ type report = {
 let case_engines ~engines id =
   List.filter
     (function
-      | Exact | Lifted | Approx -> true
+      | Exact | Lifted | Approx | Batch -> true
       | Anytime -> id mod 2 = 0
       | Mc -> id mod 3 = 0
       | Robust -> id mod 5 = 0)

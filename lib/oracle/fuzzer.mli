@@ -17,6 +17,14 @@
     - Monte-Carlo intervals ({!Mc_eval}) are checked the same way at a
       Bonferroni-corrected confidence, so the whole run has a bounded
       false-alarm rate and a fixed seed makes it deterministic;
+    - the batch engine ({!Batch_eval}), on an adversarial batch built
+      from the case's query — the query twice, an alpha-renamed copy
+      and the negation: member 0 must match the oracle exactly, the
+      repeat must route as a duplicate, the renamed copy must agree by
+      rational equality, every member must equal the one-at-a-time
+      {!Query_eval} loop under the batch's padding (check [batch.map]),
+      and the whole answer vector must be bit-identical at every
+      [domains] count (check [batch.domains]);
     - metamorphic laws that need no oracle at all: complement
       [P(not Q) = 1 - P(Q)], monotonicity of positive queries under
       fact-probability increase, the completion condition (CC) of
@@ -29,7 +37,7 @@
     corpus file that {!of_lines} reads back — the regression-replay
     format under [test/corpus/]. *)
 
-type engine = Exact | Lifted | Approx | Anytime | Mc | Robust
+type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch
 
 val all_engines : engine list
 val engine_to_string : engine -> string

@@ -1,0 +1,259 @@
+type route =
+  | Lifted
+  | Compiled of int
+  | Duplicate of int
+
+type 'p member = { query : Fo.t; prob : 'p; route : route }
+
+type 'p result = {
+  members : 'p member array;
+  padding : Value.t list;
+  shards : int;
+  cache_size : int;
+  lifted : int;
+  compiled : int;
+  deduped : int;
+}
+
+let require_sentence phi =
+  match Fo.free_vars phi with
+  | [] -> ()
+  | fvs ->
+    invalid_arg
+      (Printf.sprintf "Batch_eval: query has free variables %s"
+         (String.concat ", " (fvs : string list)))
+
+(* Same counters as Query_eval's router — the registry hands back the
+   identical counter objects, so routed members are counted in one place
+   regardless of which entry point evaluated them. *)
+let c_safe_plan = Stats.counter "query.safe_plan"
+let c_bdd_fallback = Stats.counter "query.bdd_fallback"
+let c_runs = Stats.counter "batch.runs"
+let c_members = Stats.counter "batch.members"
+let c_dedup = Stats.counter "batch.dedup.hit"
+
+(* The weight cache is keyed on facts through [Fact.hash] — the batch
+   hot path the allocation-free hash exists for: one probe per safe-plan
+   grounding and per swept BDD node. *)
+module FactH = Hashtbl.Make (struct
+  type t = Fact.t
+
+  let equal = Fact.equal
+  let hash = Fact.hash
+end)
+
+(* Once-per-batch inert padding at the maximum quantifier rank over the
+   padded members: k >= quantifier_rank phi inert values decide phi
+   exactly as quantifier_rank phi do (r-equivalence, Proposition 6.1),
+   so one padding serves every non-[Cmp] member.  The candidate values
+   live in their own "\x01batch.pad" namespace and retry on collision
+   with any support value, member constant, or caller-supplied extra. *)
+let padding ?(extra = []) table queries =
+  let rank =
+    Array.fold_left
+      (fun acc phi ->
+        if Fo.has_cmp phi then acc
+        else Stdlib.max acc (Fo.quantifier_rank phi))
+      0 queries
+  in
+  if rank = 0 then []
+  else begin
+    let avoid =
+      extra
+      @ List.concat_map (fun f -> Fact.args f) (Ti_table.support table)
+      @ List.concat_map Fo.constants (Array.to_list queries)
+    in
+    let rec choose attempt =
+      let cand =
+        List.init rank (fun i ->
+            Value.Str (Printf.sprintf "\x01batch.pad.%d.%d" attempt i))
+      in
+      if List.exists (fun v -> List.exists (Value.equal v) avoid) cand then
+        choose (attempt + 1)
+      else cand
+    in
+    choose 0
+  end
+
+module Make (C : Prob.CARRIER) = struct
+  let batch ?(extra_domain = []) ?tick ?on_free ?cache_size ?gc_threshold
+      ?(domains = 1) ti queries =
+    if domains < 1 then
+      invalid_arg "Batch_eval.batch: domains must be positive";
+    Array.iter require_sentence queries;
+    let n = Array.length queries in
+    Stats.incr c_runs;
+    Stats.add c_members n;
+    let eff_cache =
+      Bdd.effective_cache_size
+        (Option.value cache_size ~default:Bdd.default_cache_size)
+    in
+    let pads = padding ~extra:extra_domain ti queries in
+    (* Syntactic dedup: a repeated member is answered from the slot of
+       its first occurrence. *)
+    let rep = Array.make n (-1) in
+    let seen : (Fo.t, int) Hashtbl.t = Hashtbl.create (2 * n) in
+    for i = 0 to n - 1 do
+      match Hashtbl.find_opt seen queries.(i) with
+      | Some j ->
+        rep.(i) <- j;
+        Stats.incr c_dedup
+      | None ->
+        Hashtbl.add seen queries.(i) i;
+        rep.(i) <- i
+    done;
+    (* Per-fact weights converted to the carrier once, then probed
+       read-only from every domain (a Hashtbl is safe to share when
+       nobody mutates it). *)
+    let wtbl = FactH.create ((2 * Ti_table.size ti) + 1) in
+    List.iter
+      (fun (f, p) -> FactH.replace wtbl f (C.of_rational p))
+      (Ti_table.facts ti);
+    let weight f =
+      match FactH.find_opt wtbl f with Some w -> w | None -> C.zero
+    in
+    (* Dichotomy-aware routing, lifted engine first: safe members are
+       answered here and never touch a BDD store. *)
+    let module S = Safe_plan.Make (C) in
+    let support = Ti_table.support ti in
+    let probs : C.t option array = Array.make n None in
+    let routes = Array.make n Lifted in
+    let to_compile = ref [] in
+    for i = 0 to n - 1 do
+      if rep.(i) = i then begin
+        match S.probability ~weight ~facts:support queries.(i) with
+        | Some p ->
+          Stats.incr c_safe_plan;
+          probs.(i) <- Some p
+        | None ->
+          Stats.incr c_bdd_fallback;
+          to_compile := i :: !to_compile
+      end
+    done;
+    let comp = Array.of_list (List.rev !to_compile) in
+    let nc = Array.length comp in
+    let shards = if nc = 0 then 0 else Stdlib.min domains nc in
+    if nc > 0 then begin
+      let a = Lineage.alphabet support in
+      (* Shard assignment is a function of member index alone (round
+         robin over the compile list), never of runtime scheduling —
+         the first half of the determinism argument.  The second half
+         is that exact-carrier results do not depend on which manager
+         compiled a member: ROBDDs are canonical and the rational model
+         count is a property of the Boolean function. *)
+      let buckets = Array.make shards [] in
+      for j = nc - 1 downto 0 do
+        buckets.(j mod shards) <- comp.(j) :: buckets.(j mod shards)
+      done;
+      let shard_members = Array.map Array.of_list buckets in
+      let shard_err : exn option array = Array.make shards None in
+      let run_shard s =
+        let mine = shard_members.(s) in
+        let exprs =
+          Array.map
+            (fun i ->
+              let q = queries.(i) in
+              let extra =
+                if Fo.has_cmp q then extra_domain else pads @ extra_domain
+              in
+              Lineage.of_sentence ~extra a q)
+            mine
+        in
+        (* First-occurrence variable order over the shard's concatenated
+           lineages (the batch generalisation of Wmc.probability_expr's
+           per-query order). *)
+        let tbl = Hashtbl.create 64 in
+        Array.iter
+          (fun e ->
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem tbl v) then
+                  Hashtbl.add tbl v (Hashtbl.length tbl))
+              (Bool_expr.occurrence_order e))
+          exprs;
+        let order v =
+          match Hashtbl.find_opt tbl v with
+          | Some r -> r
+          | None -> v + Hashtbl.length tbl
+        in
+        let m = Bdd.manager ~order ?tick ?on_free ?cache_size ?gc_threshold () in
+        (* Every compiled root is protected before the next member
+           compiles, so a gc_threshold-triggered sweep at an of_expr
+           safe point cannot collect an earlier member's diagram. *)
+        let roots =
+          Array.map
+            (fun e ->
+              let t = Bdd.of_expr m e in
+              Bdd.protect t;
+              t)
+            exprs
+        in
+        let res =
+          Bdd.fold_prob_many ~zero:C.zero ~one:C.one
+            ~node:(fun v lo hi ->
+              let p = weight (Lineage.fact_of_var a v) in
+              C.add (C.mul p hi) (C.mul (C.compl p) lo))
+            roots
+        in
+        Array.iteri
+          (fun k i ->
+            probs.(i) <- Some res.(k);
+            routes.(i) <- Compiled s)
+          mine;
+        Array.iter Bdd.release roots
+      in
+      (* Mc_eval's worker discipline: one atomic cursor claims shards,
+         results land in per-member slots (disjoint writes), failures
+         are recorded per shard and re-raised deterministically (lowest
+         shard first) after every domain joined. *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let s = Atomic.fetch_and_add next 1 in
+          if s < shards then begin
+            (try run_shard s with e -> shard_err.(s) <- Some e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (shards - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      for s = 0 to shards - 1 do
+        match shard_err.(s) with Some e -> raise e | None -> ()
+      done
+    end;
+    let lifted = ref 0 and compiled = ref 0 and deduped = ref 0 in
+    let members =
+      Array.init n (fun i ->
+          let j = rep.(i) in
+          let prob =
+            match probs.(j) with Some p -> p | None -> assert false
+          in
+          if j <> i then begin
+            incr deduped;
+            { query = queries.(i); prob; route = Duplicate j }
+          end
+          else begin
+            (match routes.(i) with
+            | Lifted -> incr lifted
+            | Compiled _ -> incr compiled
+            | Duplicate _ -> assert false);
+            { query = queries.(i); prob; route = routes.(i) }
+          end)
+    in
+    {
+      members;
+      padding = pads;
+      shards;
+      cache_size = eff_cache;
+      lifted = !lifted;
+      compiled = !compiled;
+      deduped = !deduped;
+    }
+end
+
+module Exact = Make (Prob.Rational_carrier)
+
+let boolean = Exact.batch

@@ -53,7 +53,19 @@ let compare a b =
   end
 
 let equal a b = compare a b = 0
-let hash f = Hashtbl.hash (f.rel, Array.map Value.hash f.args)
+
+(* Allocation-free multiplicative-mix fold over the relation name and
+   every argument.  [Hashtbl.hash] on an intermediate array would both
+   allocate per call and stop after its default 10-element meaningful
+   limit, making wide facts differing only in late columns collide
+   systematically — the batch evaluator's weight cache keys on this. *)
+let hash f =
+  let h = ref (Hashtbl.hash f.rel) in
+  for i = 0 to Array.length f.args - 1 do
+    h := (((!h * 0x9e3779b1) land max_int) lxor Value.hash f.args.(i)) land max_int
+  done;
+  let h = !h in
+  (h lxor (h lsr 15)) land max_int
 
 let to_string f =
   Printf.sprintf "%s(%s)" f.rel

@@ -26,13 +26,14 @@
    construction, so under a [Virtual]-clock budget the whole answer —
    provenance string included — is bit-identical across runs. *)
 
-type engine = Lifted | Exact | Anytime | Monte_carlo
+type engine = Lifted | Exact | Anytime | Monte_carlo | Batched
 
 let engine_to_string = function
   | Lifted -> "lifted"
   | Exact -> "exact"
   | Anytime -> "anytime"
   | Monte_carlo -> "monte-carlo"
+  | Batched -> "batched"
 
 type outcome =
   | Certified of Interval.t
@@ -280,3 +281,90 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
             budget = Budget.describe parent;
           };
       })
+
+let c_batch_queries = Stats.counter "robust.batch.queries"
+let c_batch_fallbacks = Stats.counter "robust.batch.fallbacks"
+
+let query_batch ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
+    ?bdd_cache_size ?bdd_gc_threshold ?mc_samples ?policy ?sleep
+    ?(domains = 1) ?seed src phis =
+  if not (eps > 0.0 && eps < 0.5) then
+    invalid_arg "Robust_eval.query_batch: eps must lie in (0, 1/2)";
+  if domains < 1 then
+    invalid_arg "Robust_eval.query_batch: domains must be positive";
+  List.iter
+    (fun phi ->
+      if Fo.free_vars phi <> [] then
+        invalid_arg "Robust_eval.query_batch: queries must be sentences")
+    phis;
+  let parent = match budget with Some b -> b | None -> Budget.unlimited () in
+  let qs = Array.of_list phis in
+  Stats.add c_batch_queries (Array.length qs);
+  (* Batched fast path: one truncation certificate, one padded domain
+     and one shared BDD store serve every member, all under one child of
+     the shared parent budget.  Any failure (divergent source, budget
+     trip inside a worker, engine error) falls back to the per-member
+     degradation ladder below — still governed by the same parent, so
+     the batch cannot overspend its way past the caller's caps. *)
+  let batch_run () =
+    match Approx_eval.truncation_r src ~eps with
+    | Error e -> Error e
+    | Ok (n, tail) ->
+      Errors.protect ~what:"Robust_eval.query_batch" (fun () ->
+          let table = Fact_source.truncate src n in
+          let tail =
+            match Fact_source.tail_mass src n with
+            | Some t -> Float.min t tail
+            | None -> tail
+          in
+          let om = Approx_eval.omega_bounds_of_tail tail in
+          let b = Budget.child ?max_bdd_nodes ?max_facts parent in
+          let r =
+            Batch_eval.boolean
+              ~tick:(fun () -> Budget.charge b Budget.Bdd_nodes 1)
+              ~on_free:(fun k -> Budget.refund b Budget.Bdd_nodes k)
+              ?cache_size:bdd_cache_size ?gc_threshold:bdd_gc_threshold
+              ~domains table qs
+          in
+          (r, om))
+  in
+  let fallback i err =
+    (* Per-member ladder under the same parent budget; the failed batch
+       attempt stays first in the member's provenance. *)
+    Stats.incr c_batch_fallbacks;
+    let a =
+      query ~budget:parent ~eps ?max_bdd_nodes ?max_facts ?bdd_cache_size
+        ?bdd_gc_threshold ?mc_samples ?policy ?sleep ~domains ?seed src
+        qs.(i)
+    in
+    let batched = { engine = Batched; tries = 1; outcome = Failed err } in
+    {
+      a with
+      provenance =
+        { a.provenance with attempts = batched :: a.provenance.attempts };
+    }
+  in
+  match batch_run () with
+  | Ok (r, om) ->
+    List.mapi
+      (fun i (_ : Fo.t) ->
+        let m = r.Batch_eval.members.(i) in
+        let iv = Approx_eval.enclosure m.Batch_eval.prob om in
+        let outcome = Certified iv in
+        {
+          enclosure = iv;
+          estimate = Interval.mid iv;
+          provenance =
+            {
+              attempts = [ { engine = Batched; tries = 1; outcome } ];
+              stopped =
+                (match m.Batch_eval.route with
+                | Batch_eval.Lifted -> "batch converged (lifted)"
+                | Batch_eval.Compiled _ -> "batch converged (compiled)"
+                | Batch_eval.Duplicate j ->
+                  Printf.sprintf "batch converged (duplicate of member %d)" j);
+              budget = Budget.describe parent;
+            };
+        })
+      phis
+  | Error err -> List.mapi (fun i (_ : Fo.t) -> fallback i err) phis

@@ -29,7 +29,7 @@
     provenance are bit-identical across runs and domain counts, including
     under any {!Faulty_source} schedule. *)
 
-type engine = Lifted | Exact | Anytime | Monte_carlo
+type engine = Lifted | Exact | Anytime | Monte_carlo | Batched
 
 val engine_to_string : engine -> string
 
@@ -105,3 +105,42 @@ val query :
     Never raises on faults or exhaustion — those come back in the
     provenance.  @raise Invalid_argument only on caller errors: [eps]
     outside [(0, 1/2)] or a query with free variables. *)
+
+val query_batch :
+  ?budget:Budget.t ->
+  ?eps:float ->
+  ?max_bdd_nodes:int ->
+  ?max_facts:int ->
+  ?bdd_cache_size:int ->
+  ?bdd_gc_threshold:int ->
+  ?mc_samples:int ->
+  ?policy:Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?domains:int ->
+  ?seed:int ->
+  Fact_source.t ->
+  Fo.t list ->
+  answer list
+(** Evaluate a whole batch of Boolean queries under {e one} shared
+    parent budget, positionally aligned with the input.
+
+    The fast path derives a single truncation certificate for the
+    source, then hands the prefix table and every member to
+    {!Batch_eval}: one padded domain, one shared BDD store per worker
+    shard ([domains] fans the shards across OCaml 5 domains without
+    changing exact results), safe members answered by the lifted engine
+    without compilation.  Each member's enclosure is the usual
+    conditional-probability argument around its exact truncated
+    probability, and its provenance carries a single [Batched] attempt
+    saying how the member was routed (lifted / compiled / duplicate).
+
+    If the batched path fails — divergent source, budget exhaustion
+    (the [Bdd_nodes]/[Facts] caps become one child budget for the whole
+    batch), or an engine fault — every member falls back to the full
+    per-member {!query} ladder under the {e same} parent budget, with
+    the failed [Batched] attempt kept first in its provenance; the
+    soundness contract of {!query} (the enclosure always contains the
+    true probability) is therefore preserved member-wise.
+
+    @raise Invalid_argument on the same caller errors as {!query},
+    or [domains < 1]. *)

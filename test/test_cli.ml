@@ -117,6 +117,37 @@ let test_robust_with_faults_never_fails () =
         ])
     [ 1; 5; 9 ]
 
+let with_queries lines f =
+  let path = Filename.temp_file "iowpdb_cli" ".queries" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  f path
+
+let test_batch_ok () =
+  with_table good_table @@ fun t ->
+  with_queries
+    [ "# comment and blank lines are skipped"; ""; "exists x. R(x)";
+      "exists x. R(x)"; "!(forall y. R(y))" ]
+  @@ fun qs ->
+  check_exit "batch succeeds" 0 [ "batch"; t; qs ];
+  check_exit "batch with knobs succeeds" 0
+    [ "batch"; t; qs; "--domains"; "2"; "--bdd-cache-size"; "100"; "--stats" ]
+
+let test_batch_bad_inputs () =
+  with_table good_table @@ fun t ->
+  check_exit "missing queries file exits 2" 2
+    [ "batch"; t; "/nonexistent/queries" ];
+  with_queries [ "exists x. R(" ] @@ fun bad ->
+  check_exit "malformed member exits 2" 2 [ "batch"; t; bad ];
+  with_queries [ "R(x)" ] @@ fun free ->
+  check_exit "free variable member exits 2" 2 [ "batch"; t; free ];
+  with_queries [ "# only comments" ] @@ fun empty ->
+  check_exit "empty batch exits 2" 2 [ "batch"; t; empty ];
+  with_queries [ "exists x. R(x)" ] @@ fun qs ->
+  check_exit "bad domain count exits 2" 2 [ "batch"; t; qs; "--domains"; "0" ]
+
 let test_robust_tight_budget_exit_zero () =
   with_table good_table @@ fun t ->
   check_exit "starved budget still exits 0" 0
@@ -138,6 +169,8 @@ let () =
           Alcotest.test_case "free variable" `Quick test_free_variable_query;
           Alcotest.test_case "bad eps" `Quick test_bad_eps;
           Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "batch ok" `Quick test_batch_ok;
+          Alcotest.test_case "batch bad inputs" `Quick test_batch_bad_inputs;
         ] );
       ( "budgets",
         [

@@ -1,5 +1,5 @@
 (* The differential fuzzing harness: a deterministic ~200-case smoke run
-   across all six engines (the PR's acceptance gate), bit-reproducibility,
+   across all seven engines (the PR's acceptance gate), bit-reproducibility,
    corpus round-trips, and replay of the checked-in regression corpus.
    The corpus files are build dependencies (see test/dune), so they are
    available under ./corpus relative to the test's working directory. *)
@@ -20,6 +20,21 @@ let test_smoke_200 () =
      0.95 once more than one MC check is planned. *)
   Alcotest.(check bool) "mc confidence corrected" true
     (r.Fuzzer.mc_confidence > 0.99)
+
+let test_batch_engine_400 () =
+  (* The batch engine's acceptance gate: 400 cases against the oracle,
+     the member-wise sequential law, and domain-count bit-identity, with
+     zero discrepancies.  Batch checks ride on K_ti cases (one in four). *)
+  let r = Fuzzer.run ~seed:2024 ~cases:400 ~engines:[ Fuzzer.Batch ] () in
+  Alcotest.(check int) "cases" 400 r.Fuzzer.cases_run;
+  Alcotest.(check bool) "at least 300 batch checks" true
+    (r.Fuzzer.checks_run >= 300);
+  match r.Fuzzer.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.fail
+      (Printf.sprintf "case %d failed %s: %s" f.Fuzzer.f_case.Fuzzer.id
+         f.Fuzzer.check f.Fuzzer.detail)
 
 let test_reproducible () =
   let run () =
@@ -140,8 +155,10 @@ let () =
     [
       ( "smoke",
         [
-          Alcotest.test_case "200 cases, six engines, clean" `Slow
+          Alcotest.test_case "200 cases, seven engines, clean" `Slow
             test_smoke_200;
+          Alcotest.test_case "batch engine, 400 cases, clean" `Slow
+            test_batch_engine_400;
           Alcotest.test_case "bit-reproducible" `Quick test_reproducible;
           Alcotest.test_case "seed-sensitive" `Quick
             test_distinct_seeds_distinct_cases;

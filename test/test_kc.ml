@@ -255,6 +255,71 @@ let test_wmc_large_conjunction () =
     (Rational.to_string p)
 
 (* ------------------------------------------------------------------ *)
+(* Cache-size exposure and the shared-memo batch fold *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_size_exposure () =
+  Alcotest.(check int) "default manager reports the default"
+    Bdd.default_cache_size
+    (Bdd.cache_size (Bdd.manager ()));
+  Alcotest.(check int) "rounded up to a power of two" 128
+    (Bdd.effective_cache_size 100);
+  Alcotest.(check int) "floor of 64" 64 (Bdd.effective_cache_size 1);
+  Alcotest.(check int) "powers of two kept" 256 (Bdd.effective_cache_size 256);
+  Alcotest.(check int) "manager agrees with effective_cache_size"
+    (Bdd.effective_cache_size 1000)
+    (Bdd.cache_size (Bdd.manager ~cache_size:1000 ()));
+  Alcotest.check_raises "requested size must be positive"
+    (Invalid_argument "Bdd.effective_cache_size: cache_size must be positive")
+    (fun () -> ignore (Bdd.effective_cache_size 0));
+  Alcotest.check_raises "manager rejects nonpositive cache"
+    (Invalid_argument "Bdd.manager: cache_size must be positive") (fun () ->
+      ignore (Bdd.manager ~cache_size:0 ()));
+  Alcotest.check_raises "manager rejects nonpositive gc threshold"
+    (Invalid_argument "Bdd.manager: gc_threshold must be positive") (fun () ->
+      ignore (Bdd.manager ~gc_threshold:0 ()))
+
+let test_fold_prob_many_matches_fold_prob () =
+  let m = Bdd.manager () in
+  let e1 = E.disj (List.init 6 (fun k -> E.and2 (E.var (2 * k)) (E.var ((2 * k) + 1)))) in
+  let e2 = E.and2 (E.var 0) (E.var 1) in
+  let roots = Array.map (Bdd.of_expr m) [| e1; e2; e1; E.tru; E.fls |] in
+  let w v = Rational.of_ints 1 (v + 2) in
+  let node v lo hi =
+    let p = w v in
+    Rational.add (Rational.mul p hi)
+      (Rational.mul (Rational.sub Rational.one p) lo)
+  in
+  let many =
+    Bdd.fold_prob_many ~zero:Rational.zero ~one:Rational.one ~node roots
+  in
+  Array.iteri
+    (fun idx t ->
+      Alcotest.(check string)
+        (Printf.sprintf "root %d agrees with fold_prob" idx)
+        (Rational.to_string
+           (Bdd.fold_prob ~zero:Rational.zero ~one:Rational.one ~node t))
+        (Rational.to_string many.(idx)))
+    roots;
+  Alcotest.(check string) "shared roots share the answer"
+    (Rational.to_string many.(0))
+    (Rational.to_string many.(2));
+  Alcotest.(check int) "empty batch" 0
+    (Array.length
+       (Bdd.fold_prob_many ~zero:Rational.zero ~one:Rational.one ~node [||]))
+
+let test_fold_prob_many_rejects_foreign_roots () =
+  let m1 = Bdd.manager () and m2 = Bdd.manager () in
+  let roots = [| Bdd.of_expr m1 (E.var 0); Bdd.of_expr m2 (E.var 0) |] in
+  Alcotest.check_raises "mixed managers rejected"
+    (Invalid_argument "Bdd.fold_prob_many: node from a different manager")
+    (fun () ->
+      ignore
+        (Bdd.fold_prob_many ~zero:0.0 ~one:1.0
+           ~node:(fun _ lo hi -> 0.5 *. (lo +. hi))
+           roots))
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 (* ------------------------------------------------------------------ *)
 
@@ -525,6 +590,12 @@ let () =
             test_wmc_matches_brute_force_exact;
           Alcotest.test_case "float+interval" `Quick test_wmc_float_and_interval;
           Alcotest.test_case "large conjunction" `Quick test_wmc_large_conjunction;
+          Alcotest.test_case "cache size exposure" `Quick
+            test_cache_size_exposure;
+          Alcotest.test_case "fold_prob_many = fold_prob" `Quick
+            test_fold_prob_many_matches_fold_prob;
+          Alcotest.test_case "fold_prob_many manager check" `Quick
+            test_fold_prob_many_rejects_foreign_roots;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
       ( "kernel differential",

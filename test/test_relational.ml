@@ -127,6 +127,26 @@ let test_fact_order () =
   Alcotest.(check bool) "by rel name" true (Fact.compare f1 g < 0);
   Alcotest.(check bool) "equal" true (Fact.equal f1 (Fact.make "R" [ i 1 ]))
 
+let test_hash_covers_every_column () =
+  (* Regression: the old hash went through Hashtbl.hash, whose default
+     traversal stops at 10 "meaningful" nodes, so wide facts differing
+     only in a late column collided systematically.  The fold must see
+     all twelve columns. *)
+  let wide k = Fact.make "W" (List.init 12 (fun j -> i (if j = 11 then k else j))) in
+  Alcotest.(check bool) "facts differing in column 12 hash apart" true
+    (Fact.hash (wide 100) <> Fact.hash (wide 200));
+  let tup k : Tuple.t = Array.init 12 (fun j -> i (if j = 11 then k else j)) in
+  Alcotest.(check bool) "tuples differing in column 12 hash apart" true
+    (Tuple.hash (tup 100) <> Tuple.hash (tup 200));
+  (* Equal values still hash equal, and the result is nonnegative (it
+     feeds Hashtbl.Make functors). *)
+  Alcotest.(check int) "fact hash is stable" (Fact.hash (wide 7))
+    (Fact.hash (wide 7));
+  Alcotest.(check int) "tuple hash is stable" (Tuple.hash (tup 7))
+    (Tuple.hash (tup 7));
+  Alcotest.(check bool) "nonnegative" true
+    (Fact.hash (wide 3) >= 0 && Tuple.hash (tup 3) >= 0)
+
 (* ------------------------------------------------------------------ *)
 (* Instance *)
 (* ------------------------------------------------------------------ *)
@@ -285,6 +305,8 @@ let () =
           Alcotest.test_case "fact basics" `Quick test_fact_basics;
           Alcotest.test_case "fact roundtrip" `Quick test_fact_roundtrip;
           Alcotest.test_case "fact order" `Quick test_fact_order;
+          Alcotest.test_case "hash covers every column" `Quick
+            test_hash_covers_every_column;
         ] );
       ( "instance",
         [
