@@ -1,77 +1,21 @@
 (* Baseline regression gate.
 
-   Usage: compare.exe FRESH_DIR BASELINE_DIR [--factor F] [--floor S]
+   Usage: compare.exe FRESH_DIR BASELINE_DIR
+            [--factor F] [--floor S] [--rate-tol D]
 
    Reads every BENCH_<id>.json present in BOTH directories (the
    hand-rolled flat format bench/main.ml writes: one ["key": value] pair
-   per line), compares the wall-clock metrics, and exits 1 when a fresh
-   time exceeds [factor] times its baseline.  Sub-[floor] pairs are
-   skipped: CI timer noise on a metric of a few milliseconds says
-   nothing about a regression.  Ids or keys present on one side only are
-   reported but never fail the gate — experiments come and go across
-   PRs, and the gate must not force lock-step baseline updates. *)
+   per line) and exits 1 on a regression.  The rules live in
+   Compare_core (unit tested in the bench runtest): wall-clock keys are
+   ratio-gated with a noise floor, [_rate] keys are gated on absolute
+   drift, latency quantiles ([_p50]/[_p99]) and QPS are reported but
+   never fail.  Ids or keys present on one side only are reported but
+   never fail the gate — experiments come and go across PRs, and the
+   gate must not force lock-step baseline updates. *)
 
 let factor = ref 2.0
 let floor_s = ref 0.02
-
-let contains_substring hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-  at 0
-
-(* The wall-clock keys: the per-experiment harness total ("seconds"),
-   the old/new kernel loops ("old_seconds"/"new_seconds", E22's
-   "seq_seconds"/"batch_seconds"), and the per-size engine times
-   ("lifted_s_n14", "oracle_s_n10", ...).  Counters (cache hits, node
-   counts) and ratios (speedups) are excluded — they gate correctness
-   elsewhere, and comparing them as times is meaningless. *)
-let is_time_key k =
-  k = "seconds" || Filename.check_suffix k "_seconds"
-  || contains_substring k "_s_n"
-
-(* A line of the flat writer:      "key": value[,]  *)
-let parse_line line =
-  let line = String.trim line in
-  let line =
-    if String.length line > 0 && line.[String.length line - 1] = ',' then
-      String.sub line 0 (String.length line - 1)
-    else line
-  in
-  match String.index_opt line ':' with
-  | None -> None
-  | Some colon -> (
-    let k = String.trim (String.sub line 0 colon) in
-    let v =
-      String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
-    in
-    if String.length k < 2 || k.[0] <> '"' || k.[String.length k - 1] <> '"'
-    then None
-    else
-      let key = String.sub k 1 (String.length k - 2) in
-      match float_of_string_opt v with
-      | Some f -> Some (key, f)
-      | None -> None)
-
-let read_metrics path =
-  let ic = open_in path in
-  let out = ref [] in
-  (try
-     while true do
-       match parse_line (input_line ic) with
-       | Some ((("id" : string)), _) | None -> ()
-       | Some kv -> out := kv :: !out
-     done
-   with End_of_file -> ());
-  close_in ic;
-  List.rev !out
-
-let bench_files dir =
-  Sys.readdir dir |> Array.to_list
-  |> List.filter (fun f ->
-         String.length f > 11
-         && String.sub f 0 6 = "BENCH_"
-         && Filename.check_suffix f ".json")
-  |> List.sort compare
+let rate_tol = ref 0.35
 
 let () =
   let positional = ref [] in
@@ -83,6 +27,9 @@ let () =
     | "--floor" :: v :: rest ->
       floor_s := float_of_string v;
       parse_args rest
+    | "--rate-tol" :: v :: rest ->
+      rate_tol := float_of_string v;
+      parse_args rest
     | a :: rest ->
       positional := a :: !positional;
       parse_args rest
@@ -93,10 +40,12 @@ let () =
     | [ f; b ] -> (f, b)
     | _ ->
       prerr_endline
-        "usage: compare.exe FRESH_DIR BASELINE_DIR [--factor F] [--floor S]";
+        "usage: compare.exe FRESH_DIR BASELINE_DIR [--factor F] [--floor S] \
+         [--rate-tol D]";
       exit 2
   in
-  let fresh_files = bench_files fresh_dir and base_files = bench_files base_dir in
+  let fresh_files = Compare_core.bench_files fresh_dir
+  and base_files = Compare_core.bench_files base_dir in
   let common = List.filter (fun f -> List.mem f base_files) fresh_files in
   if common = [] then begin
     Printf.eprintf "compare: no common BENCH_*.json between %s and %s\n"
@@ -109,33 +58,40 @@ let () =
         Printf.printf "  new experiment (no baseline yet): %s\n" f)
     fresh_files;
   let regressions = ref 0 in
-  Printf.printf "  factor %.2fx, floor %.3fs\n" !factor !floor_s;
+  Printf.printf "  factor %.2fx, floor %.3fs, rate tolerance %.2f\n" !factor
+    !floor_s !rate_tol;
   List.iter
     (fun file ->
-      let fresh = read_metrics (Filename.concat fresh_dir file) in
-      let base = read_metrics (Filename.concat base_dir file) in
+      let fresh = Compare_core.read_metrics (Filename.concat fresh_dir file) in
+      let base = Compare_core.read_metrics (Filename.concat base_dir file) in
       List.iter
         (fun (key, fv) ->
-          if is_time_key key then
+          match Compare_core.gate_of_key key with
+          | Compare_core.Skip -> ()
+          | gate -> (
             match List.assoc_opt key base with
             | None -> Printf.printf "  %-18s %-22s no baseline key\n" file key
-            | Some bv ->
-              if fv <= !floor_s && bv <= !floor_s then
+            | Some bv -> (
+              match
+                Compare_core.judge ~factor:!factor ~floor:!floor_s
+                  ~rate_tol:!rate_tol gate ~fresh:fv ~base:bv
+              with
+              | Compare_core.Sub_floor ->
                 Printf.printf "  %-18s %-22s %8.4fs vs %8.4fs  (sub-floor)\n"
                   file key fv bv
-              else begin
-                let ratio = fv /. Float.max bv 1e-9 in
-                let bad = ratio > !factor in
-                if bad then incr regressions;
-                Printf.printf "  %-18s %-22s %8.4fs vs %8.4fs  %5.2fx%s\n" file
-                  key fv bv ratio
-                  (if bad then "  REGRESSION" else "")
-              end)
+              | Compare_core.Pass when gate = Compare_core.Info ->
+                Printf.printf "  %-18s %-22s %8.4f  vs %8.4f   (info)\n" file
+                  key fv bv
+              | Compare_core.Pass ->
+                Printf.printf "  %-18s %-22s %8.4f  vs %8.4f \n" file key fv bv
+              | Compare_core.Regression why ->
+                incr regressions;
+                Printf.printf "  %-18s %-22s %8.4f  vs %8.4f   REGRESSION: %s\n"
+                  file key fv bv why)))
         fresh)
     common;
   if !regressions > 0 then begin
-    Printf.printf "compare: %d wall-time regression(s) beyond %.1fx\n"
-      !regressions !factor;
+    Printf.printf "compare: %d regression(s)\n" !regressions;
     exit 1
   end
-  else print_endline "compare: no wall-time regressions"
+  else print_endline "compare: no regressions"

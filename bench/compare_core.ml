@@ -1,0 +1,108 @@
+(* The pure core of the baseline regression gate, split out of the
+   compare executable so the classification and judgement rules are unit
+   tested in the bench runtest.
+
+   Metric keys fall into four classes:
+   - latency quantiles ([_p50]/[_p99] suffixes) are *informational*:
+     reported side by side but never gated — tail latency on a shared CI
+     runner is too noisy to fail a build on;
+   - rates ([_rate] suffix, values in [0, 1]) are gated on *absolute*
+     drift: a shed rate moving from 0.3 to 0.9 is a behaviour change
+     regardless of machine speed, while ratio-gating a near-zero rate
+     would be meaningless;
+   - wall-clock times (the "seconds" family) are gated on a ratio with a
+     noise floor, as before;
+   - everything else (counters, sizes, speedup ratios) is skipped — those
+     gate correctness elsewhere. *)
+
+type gate =
+  | Time  (** ratio-gated wall-clock seconds *)
+  | Rate  (** absolute-drift-gated fraction in [0, 1] *)
+  | Info  (** reported, never gated *)
+  | Skip  (** not compared *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let is_time_key k =
+  k = "seconds"
+  || Filename.check_suffix k "_seconds"
+  || contains_substring k "_s_n"
+
+let gate_of_key k =
+  if Filename.check_suffix k "_p50" || Filename.check_suffix k "_p99" then
+    Info
+  else if Filename.check_suffix k "_qps" then Info
+  else if Filename.check_suffix k "_rate" then Rate
+  else if is_time_key k then Time
+  else Skip
+
+type judgement =
+  | Pass
+  | Sub_floor  (** both sides under the noise floor; not judged *)
+  | Regression of string  (** human-readable reason *)
+
+(* [floor] applies to Time only; [rate_tol] is the absolute drift a Rate
+   key may show before failing. *)
+let judge ~factor ~floor ~rate_tol gate ~fresh ~base =
+  match gate with
+  | Skip | Info -> Pass
+  | Time ->
+    if fresh <= floor && base <= floor then Sub_floor
+    else
+      let ratio = fresh /. Float.max base 1e-9 in
+      if ratio > factor then
+        Regression (Printf.sprintf "%.2fx slower than baseline" ratio)
+      else Pass
+  | Rate ->
+    let drift = Float.abs (fresh -. base) in
+    if drift > rate_tol then
+      Regression
+        (Printf.sprintf "rate drifted by %.2f (tolerance %.2f)" drift rate_tol)
+    else Pass
+
+(* A line of the flat writer:      "key": value[,]  *)
+let parse_line line =
+  let line = String.trim line in
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = ',' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  match String.index_opt line ':' with
+  | None -> None
+  | Some colon -> (
+    let k = String.trim (String.sub line 0 colon) in
+    let v =
+      String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+    in
+    if String.length k < 2 || k.[0] <> '"' || k.[String.length k - 1] <> '"'
+    then None
+    else
+      let key = String.sub k 1 (String.length k - 2) in
+      match float_of_string_opt v with
+      | Some f -> Some (key, f)
+      | None -> None)
+
+let read_metrics path =
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       match parse_line (input_line ic) with
+       | Some (("id" : string), _) | None -> ()
+       | Some kv -> out := kv :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+let bench_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 11
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare

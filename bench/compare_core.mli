@@ -1,0 +1,44 @@
+(** Pure core of the baseline regression gate ([compare.exe]): metric
+    key classification, per-metric judgement, and the flat-JSON metric
+    reader for the [BENCH_<id>.json] files [bench/main.ml] writes. *)
+
+type gate =
+  | Time  (** ratio-gated wall-clock seconds *)
+  | Rate  (** absolute-drift-gated fraction in [0, 1] *)
+  | Info  (** reported, never gated (latency quantiles, QPS) *)
+  | Skip  (** not compared (counters, sizes, speedups) *)
+
+val is_time_key : string -> bool
+(** ["seconds"], [.._seconds], and the per-size [.._s_n..] keys. *)
+
+val gate_of_key : string -> gate
+(** [_p50]/[_p99]/[_qps] suffixes are {!Info}; [_rate] is {!Rate};
+    time keys are {!Time}; everything else {!Skip}. The informational
+    suffixes win over the time family, so a hypothetical
+    [warm_seconds_p99] would report, not gate. *)
+
+type judgement =
+  | Pass
+  | Sub_floor  (** both sides under the noise floor; not judged *)
+  | Regression of string  (** human-readable reason *)
+
+val judge :
+  factor:float ->
+  floor:float ->
+  rate_tol:float ->
+  gate ->
+  fresh:float ->
+  base:float ->
+  judgement
+(** {!Time}: fail when [fresh/base > factor], unless both are at or
+    under [floor] seconds. {!Rate}: fail when [|fresh - base|] exceeds
+    [rate_tol]. {!Info} and {!Skip} always pass. *)
+
+val parse_line : string -> (string * float) option
+(** One line of the flat writer: ["key": value[,]]. *)
+
+val read_metrics : string -> (string * float) list
+(** All numeric key/value pairs of one [BENCH_<id>.json], minus ["id"]. *)
+
+val bench_files : string -> string list
+(** Sorted [BENCH_*.json] basenames under a directory. *)

@@ -1196,6 +1196,190 @@ let e22 () =
   metric "E22" "lifted" (float_of_int r.Batch_eval.lifted)
 
 (* ------------------------------------------------------------------ *)
+(* E23: the resident query service under closed-loop load.  Three
+   phases against in-process servers on temp Unix sockets:
+
+   - capacity: one client, connect-per-request, a cheap exact query with
+     the cache disabled — every request pays the full parse/admit/
+     evaluate path.  Reports QPS and client-side latency quantiles
+     (informational in the baseline gate: wall-clock on a shared runner).
+   - overload: 8 closed-loop client threads against 2 workers and a
+     4-deep queue, each request a deliberately expensive open-world
+     query (tiny eps forces a deep tail truncation).  Every response
+     must be a sound answer or a structured Overloaded — never a hang —
+     and the shed rate (rejections + degraded-ladder answers) is the
+     gated baseline key: it should sit near saturation regardless of
+     machine speed, because the clients are closed-loop.
+   - deadline: a bimodal mix — generous deadlines on the cheap query
+     (always certified, and the repeats must hit the result cache)
+     against 1 ms deadlines on the expensive one (never certified; the
+     server returns the best-so-far sound enclosure with the budget
+     marked exhausted instead of timing out).  The hit rate is the
+     certified fraction, pinned near 1/2 by construction. *)
+
+let e23 () =
+  header "E23" "Serve: closed-loop load on the resident query service";
+  let open_world_source () =
+    Fact_source.append_finite
+      [ (r_fact 1, q 1 2); (r_fact 2, q 1 3); (r_fact 3, q 1 4) ]
+      (Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
+         ~facts:(fun j -> Fact.make "N" [ i j ])
+         ())
+  in
+  let sock =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "iowpdb_bench_%d_%d.sock" (Unix.getpid ()) !n)
+  in
+  let with_server ?(domains = 2) ?(admission = Admission.default_config)
+      ?default_deadline_s ?(cache_capacity = 0) f =
+    let path = sock () in
+    let cfg =
+      {
+        Server.endpoint = `Unix path;
+        make_source = open_world_source;
+        policy_label = "bench-geometric";
+        domains;
+        admission;
+        default_eps = 0.01;
+        default_samples = 2_000;
+        shed_samples = 200;
+        default_deadline_s;
+        cache_capacity;
+      }
+    in
+    let t = Server.start cfg in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.request_drain t;
+        Server.wait t)
+      (fun () -> f (`Unix path))
+  in
+  let call endpoint ?eps ?deadline_ms ~seed query =
+    let conn = Client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        Client.request conn
+          (Protocol.Query { query; eps; deadline_ms; mc_samples = None; seed }))
+  in
+  let assert_sound what = function
+    | Protocol.Answer { lo; hi; estimate; _ } ->
+      if
+        not
+          (0.0 <= lo && lo <= estimate && estimate <= hi && hi <= 1.0)
+      then
+        failwith
+          (Printf.sprintf "E23 %s: unsound enclosure [%.17g, %.17g] ~ %.17g"
+             what lo hi estimate)
+    | _ -> failwith (Printf.sprintf "E23 %s: expected an answer" what)
+  in
+  let cheap = "exists x. R(x)" (* exact: P = 3/4 *)
+  and costly = "exists x. exists y. R(x) & N(y)" in
+  (* --- capacity ----------------------------------------------------- *)
+  let n_cap = if !smoke then 60 else 200 in
+  let latencies = Array.make n_cap 0.0 in
+  let cap_qps, p50, p99 =
+    with_server ~default_deadline_s:5.0 @@ fun ep ->
+    let t0 = Unix.gettimeofday () in
+    for k = 0 to n_cap - 1 do
+      let r0 = Unix.gettimeofday () in
+      let r = call ep ~seed:k cheap in
+      latencies.(k) <- Unix.gettimeofday () -. r0;
+      assert_sound "capacity" r;
+      match r with
+      | Protocol.Answer { lo; hi; _ } when lo <= 0.75 && 0.75 <= hi -> ()
+      | _ -> failwith "E23 capacity: enclosure must contain P = 3/4"
+    done;
+    let total = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+    Array.sort compare latencies;
+    let pct p =
+      latencies.(max 0 (min (n_cap - 1)
+                          (int_of_float (Float.ceil (p *. float_of_int n_cap)) - 1)))
+    in
+    (float_of_int n_cap /. total, pct 0.50, pct 0.99)
+  in
+  row "  capacity: %d sequential requests, connect-per-request\n" n_cap;
+  row "    %.0f QPS, latency p50 %.2f ms, p99 %.2f ms\n" cap_qps (1e3 *. p50)
+    (1e3 *. p99);
+  (* --- overload ----------------------------------------------------- *)
+  let threads = 8 and per_thread = if !smoke then 6 else 15 in
+  let admission =
+    { Admission.default_config with queue_bound = 4; window_s = 0.5 }
+  in
+  let answers = Atomic.make 0
+  and shed_answers = Atomic.make 0
+  and overloaded = Atomic.make 0 in
+  with_server ~domains:2 ~admission ~default_deadline_s:2.0 (fun ep ->
+      let worker tid () =
+        for k = 0 to per_thread - 1 do
+          match call ep ~eps:1e-6 ~seed:((tid * 1000) + k) costly with
+          | Protocol.Answer { shed; _ } as r ->
+            assert_sound "overload" r;
+            Atomic.incr answers;
+            if shed then Atomic.incr shed_answers
+          | Protocol.Overloaded { retry_after_ms; _ } ->
+            Atomic.incr overloaded;
+            Thread.delay (float_of_int (min retry_after_ms 20) /. 1e3)
+          | Protocol.Error_resp { code; msg } ->
+            failwith (Printf.sprintf "E23 overload: error %d: %s" code msg)
+          | Protocol.Health_ok _ | Protocol.Stats_resp _ ->
+            failwith "E23 overload: unexpected response kind"
+        done
+      in
+      let ts = List.init threads (fun tid -> Thread.create (worker tid) ()) in
+      List.iter Thread.join ts);
+  let total = threads * per_thread in
+  let shed_rate =
+    float_of_int (Atomic.get overloaded + Atomic.get shed_answers)
+    /. float_of_int total
+  in
+  if Atomic.get answers = 0 then
+    failwith "E23 overload: no request ever completed";
+  if Atomic.get overloaded + Atomic.get shed_answers = 0 then
+    failwith "E23 overload: saturation never triggered load shedding";
+  row "  overload: %d threads x %d requests vs 2 workers, queue bound 4\n"
+    threads per_thread;
+  row "    %d answered (%d on the shed ladder), %d rejected; shed rate %.2f\n"
+    (Atomic.get answers) (Atomic.get shed_answers) (Atomic.get overloaded)
+    shed_rate;
+  (* --- deadline ----------------------------------------------------- *)
+  let pairs = if !smoke then 10 else 50 in
+  let certified = ref 0 and exhausted = ref 0 and cache_hits = ref 0 in
+  with_server ~cache_capacity:64 (fun ep ->
+      for k = 0 to pairs - 1 do
+        (match call ep ~deadline_ms:2_000 ~seed:k cheap with
+        | Protocol.Answer { budget_exhausted; cached; _ } as r ->
+          assert_sound "deadline/cheap" r;
+          if not budget_exhausted then Stdlib.incr certified;
+          if cached then Stdlib.incr cache_hits
+        | _ -> failwith "E23 deadline: cheap query must answer");
+        match call ep ~eps:1e-6 ~deadline_ms:1 ~seed:k costly with
+        | Protocol.Answer { budget_exhausted; _ } as r ->
+          assert_sound "deadline/costly" r;
+          if budget_exhausted then Stdlib.incr exhausted
+          else Stdlib.incr certified
+        | _ -> failwith "E23 deadline: past-deadline query must still answer"
+      done);
+  let deadline_hit_rate = float_of_int !certified /. float_of_int (2 * pairs) in
+  if !cache_hits = 0 then
+    failwith "E23 deadline: repeated cheap query never hit the result cache";
+  row "  deadline: %d x 2s on the cheap query vs %d x 1ms on the costly one\n"
+    pairs pairs;
+  row
+    "    %d certified, %d best-so-far (budget exhausted), %d cache hits; \
+     hit rate %.2f\n"
+    !certified !exhausted !cache_hits deadline_hit_rate;
+  metric "E23" "capacity_qps" cap_qps;
+  metric "E23" "latency_p50" p50;
+  metric "E23" "latency_p99" p99;
+  metric "E23" "shed_rate" shed_rate;
+  metric "E23" "deadline_hit_rate" deadline_hit_rate
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
 
@@ -1204,14 +1388,15 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
-    ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22);
+    ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
-let smoke_ids = [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22" ]
+let smoke_ids =
+  [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22"; "E23" ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -1,0 +1,113 @@
+(* Unit tests for the regression-gate core: key classification, the
+   judgement rules (informational quantiles never fail; rates gate on
+   absolute drift; times gate on ratio with a floor), and the flat-JSON
+   metric reader. *)
+
+open Compare_core
+
+let gate = Alcotest.testable (fun fmt g ->
+    Format.pp_print_string fmt
+      (match g with
+      | Time -> "Time"
+      | Rate -> "Rate"
+      | Info -> "Info"
+      | Skip -> "Skip"))
+    ( = )
+
+let test_gate_of_key () =
+  let check k expect = Alcotest.check gate k expect (gate_of_key k) in
+  check "seconds" Time;
+  check "old_seconds" Time;
+  check "batch_seconds" Time;
+  check "lifted_s_n14" Time;
+  check "latency_p50" Info;
+  check "latency_p99" Info;
+  check "capacity_qps" Info;
+  (* the informational suffix must win over the time family *)
+  check "warm_seconds_p99" Info;
+  check "shed_rate" Rate;
+  check "deadline_hit_rate" Rate;
+  check "speedup" Skip;
+  check "bdd_nodes" Skip;
+  check "cache_hits" Skip
+
+let j = judge ~factor:2.0 ~floor:0.02 ~rate_tol:0.35
+
+let test_time_judgement () =
+  (match j Time ~fresh:0.30 ~base:0.10 with
+  | Regression _ -> ()
+  | _ -> Alcotest.fail "3x slowdown must regress");
+  (match j Time ~fresh:0.19 ~base:0.10 with
+  | Pass -> ()
+  | _ -> Alcotest.fail "1.9x must pass at factor 2");
+  (* both sides under the floor: timer noise, never judged *)
+  (match j Time ~fresh:0.019 ~base:0.001 with
+  | Sub_floor -> ()
+  | _ -> Alcotest.fail "sub-floor pair must be skipped");
+  (* fresh above the floor is judged even against a tiny baseline *)
+  match j Time ~fresh:0.5 ~base:0.001 with
+  | Regression _ -> ()
+  | _ -> Alcotest.fail "above-floor blowup must regress"
+
+let test_rate_judgement () =
+  (match j Rate ~fresh:0.9 ~base:0.3 with
+  | Regression _ -> ()
+  | _ -> Alcotest.fail "0.6 drift must regress at tolerance 0.35");
+  (match j Rate ~fresh:0.0 ~base:0.5 with
+  | Regression _ -> ()
+  | _ -> Alcotest.fail "drift gates in both directions");
+  (match j Rate ~fresh:0.5 ~base:0.3 with
+  | Pass -> ()
+  | _ -> Alcotest.fail "0.2 drift must pass");
+  (* rates never hit the time floor, even when tiny *)
+  match j Rate ~fresh:0.4 ~base:0.0 with
+  | Regression _ -> ()
+  | _ -> Alcotest.fail "tiny rates are still judged"
+
+let test_info_never_fails () =
+  List.iter
+    (fun (fresh, base) ->
+      match j Info ~fresh ~base with
+      | Pass -> ()
+      | _ -> Alcotest.fail "Info keys never fail")
+    [ (100.0, 0.001); (0.0, 5.0); (nan, 1.0) ]
+
+let test_parse_line () =
+  let kv = Alcotest.(option (pair string (float 1e-9))) in
+  Alcotest.check kv "plain" (Some ("seconds", 1.25))
+    (parse_line "  \"seconds\": 1.25,");
+  Alcotest.check kv "no comma" (Some ("shed_rate", 0.4))
+    (parse_line "\"shed_rate\": 0.4");
+  Alcotest.check kv "unquoted key" None (parse_line "seconds: 1.0");
+  Alcotest.check kv "non-numeric" None (parse_line "\"id\": \"E23\"");
+  Alcotest.check kv "brace" None (parse_line "{")
+
+let test_read_metrics () =
+  let path = Filename.temp_file "bench_compare" ".json" in
+  let oc = open_out path in
+  output_string oc
+    "{\n  \"id\": \"E23\",\n  \"capacity_qps\": 120.5,\n  \"shed_rate\": 0.4\n}\n";
+  close_out oc;
+  let got = read_metrics path in
+  Sys.remove path;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "id dropped, order kept"
+    [ ("capacity_qps", 120.5); ("shed_rate", 0.4) ]
+    got
+
+let () =
+  Alcotest.run "compare"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "gate_of_key" `Quick test_gate_of_key;
+          Alcotest.test_case "time ratio + floor" `Quick test_time_judgement;
+          Alcotest.test_case "rate absolute drift" `Quick test_rate_judgement;
+          Alcotest.test_case "info never fails" `Quick test_info_never_fails;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "parse_line" `Quick test_parse_line;
+          Alcotest.test_case "read_metrics" `Quick test_read_metrics;
+        ] );
+    ]

@@ -700,6 +700,278 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(const run_plan $ query_arg 0)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the resident query service *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/iowpdb.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (created by serve, removed on exit).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on (or connect to) TCP instead of the Unix socket.")
+
+let endpoint_of ~socket ~tcp =
+  match tcp with
+  | None -> `Unix socket
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | Some i ->
+      let host = String.sub spec 0 i
+      and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match int_of_string_opt port with
+      | Some p when host <> "" -> `Tcp (host, p)
+      | _ -> invalid_arg (Printf.sprintf "bad --tcp %S (want HOST:PORT)" spec))
+    | None -> invalid_arg (Printf.sprintf "bad --tcp %S (want HOST:PORT)" spec))
+
+let serve_domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"Worker domains evaluating queries in parallel.")
+
+let queue_bound_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-bound" ] ~docv:"N"
+        ~doc:
+          "Work-queue capacity.  A full queue answers Overloaded with a \
+           retry-after hint — the server never builds unbounded backlog.")
+
+let window_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "window" ] ~docv:"SECS"
+        ~doc:
+          "Length of the rolling budget epoch carrying the global \
+           resource caps.")
+
+let shed_at_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "shed-at" ] ~docv:"P"
+        ~doc:
+          "Pressure (worst cap utilisation, or queue fill) at which \
+           requests are degraded to the shed ladder (lifted + reduced \
+           Monte-Carlo, no compilation).")
+
+let reject_at_arg =
+  Arg.(
+    value
+    & opt float 0.9
+    & info [ "reject-at" ] ~docv:"P"
+        ~doc:"Pressure at which requests are rejected outright.")
+
+let max_samples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-samples" ] ~docv:"N"
+        ~doc:"Per-window global cap on Monte-Carlo worlds drawn.")
+
+let serve_samples_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "samples" ] ~docv:"N"
+        ~doc:"Monte-Carlo worlds per request at full service.")
+
+let shed_samples_arg =
+  Arg.(
+    value & opt int 2_000
+    & info [ "shed-samples" ] ~docv:"N"
+        ~doc:"Monte-Carlo worlds per request when degraded under load.")
+
+let serve_deadline_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Default per-request wall deadline applied when the client \
+           sends none (0 disables).  The deadline starts at admission, \
+           so time spent queued counts against it.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Result-cache capacity: certified answers keyed by (query, \
+           policy), reused epsilon-aware (0 disables).")
+
+let run_serve table socket tcp policy domains queue_bound window shed_at
+    reject_at max_bdd_nodes max_facts max_samples eps samples shed_samples
+    deadline cache =
+  guard @@ fun () ->
+  let ti = read_table table in
+  (* Fact sources memoize internally, so the server gets a factory and
+     builds a fresh one per request (worker domains must not share). *)
+  let make_source () =
+    let c = parse_policy policy ti in
+    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+  in
+  let cfg =
+    {
+      Server.endpoint = endpoint_of ~socket ~tcp;
+      make_source;
+      policy_label = policy;
+      domains;
+      admission =
+        {
+          Admission.queue_bound;
+          window_s = window;
+          shed_at;
+          reject_at;
+          max_bdd_nodes;
+          max_facts;
+          max_samples;
+        };
+      default_eps = eps;
+      default_samples = samples;
+      shed_samples;
+      default_deadline_s = (if deadline <= 0.0 then None else Some deadline);
+      cache_capacity = cache;
+    }
+  in
+  Server.run cfg
+
+let serve_cmd =
+  let doc =
+    "Resident query server: load the table and open-world policy once, \
+     then answer framed requests over a Unix-domain (or TCP) socket, \
+     multiplexed across worker domains behind a bounded queue.  \
+     Admission control carves each request a budget from a rolling \
+     server-wide epoch; under pressure requests are degraded down the \
+     robust ladder or rejected with a retry-after hint, and on deadline \
+     expiry a request returns its best-so-far sound enclosure instead \
+     of timing out.  SIGTERM (or a drain request) finishes in-flight \
+     work, rejects new queries, and exits cleanly."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ table_arg $ socket_arg $ tcp_arg $ policy_arg
+      $ serve_domains_arg $ queue_bound_arg $ window_arg $ shed_at_arg
+      $ reject_at_arg $ max_bdd_nodes_arg $ max_facts_arg $ max_samples_arg
+      $ eps_arg $ serve_samples_arg $ shed_samples_arg $ serve_deadline_arg
+      $ cache_arg)
+
+let request_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"REQUEST"
+        ~doc:"One of $(b,query), $(b,health), $(b,stats), $(b,drain).")
+
+let client_query_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:"First-order sentence (required for $(b,query)).")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in milliseconds, enforced server-side: \
+           on expiry the reply is the best-so-far sound enclosure, \
+           flagged budget-exhausted.")
+
+let client_eps_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:"Additive error target (server default when omitted).")
+
+let client_samples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mc-samples" ] ~docv:"N"
+        ~doc:"Monte-Carlo worlds (server default when omitted).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total connection attempts (transport faults are retried with \
+           capped exponential backoff).")
+
+let run_client socket tcp request query eps deadline_ms mc_samples seed
+    retries =
+  guard_code @@ fun () ->
+  let endpoint = endpoint_of ~socket ~tcp in
+  let req =
+    match request with
+    | "query" -> (
+      match query with
+      | Some q ->
+        Protocol.Query { query = q; eps; deadline_ms; mc_samples; seed }
+      | None -> invalid_arg "client query: missing QUERY argument")
+    | "health" -> Protocol.Health
+    | "stats" -> Protocol.Stats_req
+    | "drain" -> Protocol.Drain
+    | r ->
+      invalid_arg
+        (Printf.sprintf "unknown request %S (want query|health|stats|drain)" r)
+  in
+  let policy = { Retry.default_policy with Retry.max_attempts = retries } in
+  match Client.call ~policy ~seed endpoint req with
+  | Error e ->
+    prerr_endline ("iowpdb: " ^ Errors.to_string e);
+    Errors.exit_code e
+  | Ok
+      (Protocol.Answer
+         { lo; hi; estimate; provenance; budget_exhausted; cached; shed }) ->
+    Printf.printf "P[ %s ] in [%.8f, %.8f] ~ %.8f%s%s%s\n"
+      (Option.value query ~default:"")
+      lo hi estimate
+      (if cached then " (cached)" else "")
+      (if shed then " (shed)" else "")
+      (if budget_exhausted then " (budget exhausted: best-so-far)" else "");
+    print_endline provenance;
+    0
+  | Ok (Protocol.Overloaded { retry_after_ms; draining }) ->
+    Printf.eprintf "iowpdb: server overloaded%s; retry after %d ms\n"
+      (if draining then " (draining)" else "")
+      retry_after_ms;
+    3
+  | Ok (Protocol.Error_resp { code; msg }) ->
+    prerr_endline ("iowpdb: server error: " ^ msg);
+    code
+  | Ok (Protocol.Health_ok { draining; inflight; uptime_s }) ->
+    Printf.printf "ok: draining=%b inflight=%d uptime=%.1fs\n" draining
+      inflight uptime_s;
+    0
+  | Ok (Protocol.Stats_resp entries) ->
+    List.iter (fun (k, v) -> Printf.printf "%s %g\n" k v) entries;
+    0
+
+let client_cmd =
+  let doc =
+    "Talk to a resident $(b,serve) instance: send one query (or a \
+     health, stats, or drain request) and print the reply.  Transport \
+     faults are retried with capped backoff; exit codes: answer 0, \
+     overloaded/draining 3, server-reported errors their own code, \
+     unreachable server 1."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ socket_arg $ tcp_arg $ request_arg
+      $ client_query_arg $ client_eps_arg $ deadline_ms_arg
+      $ client_samples_arg $ seed_arg $ retries_arg)
+
 let run_info table =
   guard @@ fun () ->
   let ti = read_table table in
@@ -731,6 +1003,8 @@ let root =
       sample_cmd;
       plan_cmd;
       fuzz_cmd;
+      serve_cmd;
+      client_cmd;
       info_cmd;
     ]
 

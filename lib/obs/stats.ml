@@ -10,7 +10,17 @@
 type counter = { c_name : string; c : int Atomic.t }
 type timer = { t_name : string; seconds : float Atomic.t }
 
-type entry = Counter of counter | Timer of timer
+(* A fixed-bucket histogram: [bounds] are strictly increasing upper
+   bounds, [counts] has one extra overflow cell.  Recording is one
+   binary search plus one atomic increment, so worker domains may
+   observe concurrently without ever dropping a sample. *)
+type histogram = {
+  h_name : string;
+  bounds : float array;
+  counts : int Atomic.t array;
+}
+
+type entry = Counter of counter | Timer of timer | Hist of histogram
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
@@ -23,8 +33,8 @@ let counter name =
   with_registry (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> c
-      | Some (Timer _) ->
-        invalid_arg (Printf.sprintf "Stats.counter: %s is a timer" name)
+      | Some (Timer _ | Hist _) ->
+        invalid_arg (Printf.sprintf "Stats.counter: %s is not a counter" name)
       | None ->
         let c = { c_name = name; c = Atomic.make 0 } in
         Hashtbl.add registry name (Counter c);
@@ -38,12 +48,91 @@ let timer name =
   with_registry (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Timer t) -> t
-      | Some (Counter _) ->
-        invalid_arg (Printf.sprintf "Stats.timer: %s is a counter" name)
+      | Some (Counter _ | Hist _) ->
+        invalid_arg (Printf.sprintf "Stats.timer: %s is not a timer" name)
       | None ->
         let t = { t_name = name; seconds = Atomic.make 0.0 } in
         Hashtbl.add registry name (Timer t);
         t)
+
+(* Log-spaced latency buckets: 5 per decade from 10 us to 100 s.  Wide
+   enough for any request the serving layer answers; the overflow cell
+   catches the rest. *)
+let default_bounds =
+  Array.init 36 (fun idx -> 1e-5 *. (10.0 ** (float_of_int idx /. 5.0)))
+
+let histogram ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then
+    invalid_arg "Stats.histogram: no buckets";
+  Array.iteri
+    (fun idx b ->
+      if Float.is_nan b || (idx > 0 && b <= bounds.(idx - 1)) then
+        invalid_arg "Stats.histogram: bounds must be strictly increasing")
+    bounds;
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Hist h) -> h
+      | Some (Counter _ | Timer _) ->
+        invalid_arg (Printf.sprintf "Stats.histogram: %s is not a histogram" name)
+      | None ->
+        let h =
+          {
+            h_name = name;
+            bounds = Array.copy bounds;
+            counts =
+              Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          }
+        in
+        Hashtbl.add registry name (Hist h);
+        h)
+
+(* Index of the first bound >= v, or the overflow cell. *)
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  if Float.is_nan v then n
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if h.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe h v = Atomic.incr h.counts.(bucket_index h v)
+
+let observations h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let bucket_counts h =
+  Array.mapi
+    (fun idx c ->
+      let ub =
+        if idx < Array.length h.bounds then h.bounds.(idx) else infinity
+      in
+      (ub, Atomic.get c))
+    h.counts
+
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q must lie in [0, 1]";
+  let counts = Array.map Atomic.get h.counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total)))
+    in
+    let idx = ref 0 and seen = ref 0 in
+    while !seen < rank && !idx < Array.length counts do
+      seen := !seen + counts.(!idx);
+      if !seen < rank then Stdlib.incr idx
+    done;
+    (* Report the bucket's upper bound: a conservative (over-)estimate,
+       clamped to the last finite bound for the overflow cell. *)
+    if !idx < Array.length h.bounds then h.bounds.(!idx)
+    else h.bounds.(Array.length h.bounds - 1)
+  end
 
 (* Lock-free accumulate: retry the compare-and-set until no concurrent
    writer slipped in between the read and the update.  [compare_and_set]
@@ -73,7 +162,12 @@ let snapshot () =
         (fun _ e acc ->
           match e with
           | Counter c -> (c.c_name, float_of_int (Atomic.get c.c)) :: acc
-          | Timer t -> (t.t_name ^ ".seconds", Atomic.get t.seconds) :: acc)
+          | Timer t -> (t.t_name ^ ".seconds", Atomic.get t.seconds) :: acc
+          | Hist h ->
+            (h.h_name ^ ".count", float_of_int (observations h))
+            :: (h.h_name ^ ".p50", quantile h 0.5)
+            :: (h.h_name ^ ".p99", quantile h 0.99)
+            :: acc)
         registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -95,7 +189,8 @@ let reset () =
         (fun _ e ->
           match e with
           | Counter c -> Atomic.set c.c 0
-          | Timer t -> Atomic.set t.seconds 0.0)
+          | Timer t -> Atomic.set t.seconds 0.0
+          | Hist h -> Array.iter (fun c -> Atomic.set c 0) h.counts)
         registry)
 
 let report fmt snap =

@@ -49,12 +49,48 @@ val add_elapsed : timer -> float -> unit
 val elapsed : timer -> float
 (** Accumulated seconds. *)
 
+(** {1 Histograms} *)
+
+type histogram
+
+val default_bounds : float array
+(** Log-spaced latency bounds, 5 per decade from 10 microseconds to
+    100 seconds (36 buckets), suitable for request latencies. *)
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Create-or-lookup, like {!counter}.  [bounds] are the strictly
+    increasing bucket upper bounds (default {!default_bounds}); an
+    implicit overflow bucket catches larger values.  Recording is one
+    binary search plus one atomic increment — lock-free, so worker
+    domains may observe concurrently without losing samples.
+    @raise Invalid_argument on empty or non-increasing bounds, or when
+    the name is already registered as a counter or timer. *)
+
+val observe : histogram -> float -> unit
+(** Record one value into its bucket (nan goes to the overflow cell). *)
+
+val observations : histogram -> int
+(** Total number of recorded values. *)
+
+val bucket_counts : histogram -> (float * int) array
+(** [(upper_bound, count)] per bucket, the overflow cell reported with
+    bound [infinity]. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [[0, 1]]: the upper bound of the bucket
+    holding the [q]-th ranked observation — a conservative
+    (over-)estimate, resolution-limited by the bucket width.  Values in
+    the overflow cell report the last finite bound (so the result is
+    always finite, e.g. for JSON output).  Returns [0.] on an empty
+    histogram.  @raise Invalid_argument when [q] is outside [[0, 1]]. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = (string * float) list
 (** Registry contents at one instant, sorted by name.  Counter values are
     represented as floats; timer names carry a [".seconds"] suffix so the
-    two namespaces cannot collide. *)
+    two namespaces cannot collide; each histogram [h] contributes
+    [h.count], [h.p50] and [h.p99] entries. *)
 
 val snapshot : unit -> snapshot
 
@@ -70,8 +106,8 @@ val by_prefix : snapshot -> string -> snapshot
     [by_prefix snap "robust."] for one subsystem's view. *)
 
 val reset : unit -> unit
-(** Zero every registered counter and timer (the registry itself — the
-    set of names — is preserved). *)
+(** Zero every registered counter, timer and histogram (the registry
+    itself — the set of names — is preserved). *)
 
 val report : Format.formatter -> snapshot -> unit
 (** Human-readable table, one [name value] line per entry; zero entries

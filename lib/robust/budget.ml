@@ -176,6 +176,22 @@ let refund t kind n =
 let cap_remaining t kind =
   Option.map (fun c -> Stdlib.max 0 (c - spent t kind)) (cap t kind)
 
+let time_remaining t =
+  let own t =
+    Option.map (fun s -> Float.max 0.0 (s -. elapsed t)) t.timeout
+  in
+  let rec go t =
+    let mine = own t in
+    match t.parent with
+    | None -> mine
+    | Some p -> (
+      match (mine, go p) with
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as a), None -> a
+      | None, b -> b)
+  in
+  go t
+
 let time_remaining_units t =
   let own t =
     match (t.clock, t.timeout) with

@@ -112,6 +112,14 @@ val cap : t -> kind -> int option
 val cap_remaining : t -> kind -> int option
 (** [None] if uncapped, otherwise the units left before the cap trips. *)
 
+val time_remaining : t -> float option
+(** Seconds left before the tightest deadline across the ancestor chain
+    expires, on each budget's own clock ([Wall] or [Virtual]); [None]
+    when no deadline constrains this budget, [0.] once one has passed.
+    This is what callers that are about to {e sleep} (retry backoff, the
+    serving layer's admission queue) consult so a voluntary wait never
+    overshoots a wall deadline. *)
+
 val time_remaining_units : t -> int option
 (** Work units left before a [Virtual] deadline (the tightest across the
     ancestor chain); [None] when no virtual deadline constrains this

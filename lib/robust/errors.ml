@@ -15,6 +15,7 @@ type t =
   | Budget_exhausted of { what : string; exhaustion : Budget.exhaustion;
                           partial : Interval.t option }
   | Engine_failure of { engine : string; msg : string }
+  | Transport of { endpoint : string; msg : string }
 
 exception Error of t
 
@@ -45,13 +46,15 @@ let to_string = function
           (Interval.hi iv))
   | Engine_failure { engine; msg } ->
     Printf.sprintf "engine failure (%s): %s" engine msg
+  | Transport { endpoint; msg } ->
+    Printf.sprintf "transport failure (%s): %s" endpoint msg
 
 let raise_error e = raise (Error e)
 
 let exit_code = function
   | Parse _ | Model_invalid _ | Divergent_source _ -> 2
   | Budget_exhausted _ -> 3
-  | Engine_failure _ -> 1
+  | Engine_failure _ | Transport _ -> 1
 
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in

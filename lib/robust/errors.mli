@@ -6,7 +6,10 @@
     for the enumeration, so no engine can ever succeed;
     [Budget_exhausted] is the normal "anytime" stop and carries the best
     certified enclosure found so far; [Engine_failure] means this engine
-    broke but another might not. *)
+    broke but another might not.  [Transport] is the serving layer's
+    class: a frame, connection or service fault between a client and a
+    resident server — transient by nature, so retry wrappers treat it
+    like [Engine_failure] (back off and try again). *)
 
 type t =
   | Parse of {
@@ -27,6 +30,10 @@ type t =
           (** narrowest certified enclosure obtained before stopping *)
     }
   | Engine_failure of { engine : string; msg : string }
+  | Transport of {
+      endpoint : string;  (** socket path / peer the fault was seen on *)
+      msg : string;
+    }
 
 exception Error of t
 
@@ -36,7 +43,8 @@ val to_string : t -> string
 val raise_error : t -> 'a
 
 val exit_code : t -> int
-(** CLI convention: user errors 2, budget exhaustion 3, engine failure 1. *)
+(** CLI convention: user errors 2, budget exhaustion 3, engine or
+    transport failure 1. *)
 
 val contains_substring : string -> string -> bool
 (** [contains_substring hay needle] — used by the {!of_exn} classifier

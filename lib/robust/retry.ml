@@ -34,18 +34,33 @@ let validate p =
   if not (p.jitter >= 0.0 && p.jitter <= 1.0) then
     invalid_arg "Retry: jitter must lie in [0, 1]"
 
-let delays policy ~seed =
+let delays ?budget policy ~seed =
   validate policy;
   let root = Prng.create ~seed () in
-  List.init
-    (policy.max_attempts - 1)
-    (fun i ->
-      let raw =
-        Float.min policy.max_delay
-          (policy.base_delay *. (policy.multiplier ** float_of_int i))
-      in
-      let u = Prng.float (Prng.substream root i) in
-      raw *. (1.0 -. policy.jitter +. (2.0 *. policy.jitter *. u)))
+  let raw =
+    List.init
+      (policy.max_attempts - 1)
+      (fun i ->
+        let raw =
+          Float.min policy.max_delay
+            (policy.base_delay *. (policy.multiplier ** float_of_int i))
+        in
+        let u = Prng.float (Prng.substream root i) in
+        raw *. (1.0 -. policy.jitter +. (2.0 *. policy.jitter *. u)))
+  in
+  (* Deadline-aware clamp: the cumulative schedule never exceeds the
+     budget's remaining time, so a retry chain cannot voluntarily sleep
+     past a wall deadline it was asked to respect. *)
+  match Option.bind budget Budget.time_remaining with
+  | None -> raw
+  | Some remaining ->
+    let left = ref remaining in
+    List.map
+      (fun d ->
+        let d = Float.min d !left in
+        left := !left -. d;
+        d)
+      raw
 
 type 'a outcome = ('a, Errors.t) result
 
@@ -55,6 +70,14 @@ let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ?budget
   let delays = delays policy ~seed in
   let budget_ok () =
     match budget with None -> true | Some b -> Budget.ok b
+  in
+  (* Re-read the remaining time just before each sleep: the attempt
+     itself consumed some of the allowance, and the clamp must reflect
+     what is left {e now}, not what the schedule assumed up front. *)
+  let clamp d =
+    match Option.bind budget Budget.time_remaining with
+    | None -> d
+    | Some remaining -> Float.min d (Float.max 0.0 remaining)
   in
   let rec go attempt delays =
     Stats.incr c_attempts;
@@ -67,6 +90,7 @@ let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ?budget
       match (try_again, delays) with
       | true, d :: rest ->
         Stats.incr c_retries;
+        let d = clamp d in
         if d > 0.0 then sleep d;
         go (attempt + 1) rest
       | _ ->

@@ -17,9 +17,12 @@ type policy = {
 val default_policy : policy
 (** 4 attempts, 10 ms base, doubling, 1 s cap, 25% jitter. *)
 
-val delays : policy -> seed:int -> float list
-(** The [max_attempts - 1] jittered sleep durations, in order.  Pure.
-    @raise Invalid_argument on an ill-formed policy. *)
+val delays : ?budget:Budget.t -> policy -> seed:int -> float list
+(** The [max_attempts - 1] jittered sleep durations, in order.  Pure
+    given the budget's current remaining time: with [?budget], the
+    cumulative schedule is clamped to {!Budget.time_remaining}, so the
+    chain as a whole never sleeps past the budget's wall (or virtual)
+    deadline.  @raise Invalid_argument on an ill-formed policy. *)
 
 type 'a outcome = ('a, Errors.t) result
 
@@ -35,6 +38,10 @@ val run :
 (** [run ~what ~seed f] keeps calling [f] until it succeeds, a
     non-[retryable] error occurs (default: everything is retryable), the
     attempt cap is reached, or [budget] is exhausted between attempts.
-    Exceptions from [f] are classified via {!Errors.of_exn}.  [sleep]
-    defaults to [Unix.sleepf]; tests pass [ignore] to run the schedule
-    without waiting.  Bumps the [robust.retry.*] counters. *)
+    Each backoff sleep is additionally clamped to the budget's
+    {!Budget.time_remaining} at the moment it starts, so a retry chain
+    under a wall deadline stops {e at} the deadline instead of
+    overshooting it mid-sleep.  Exceptions from [f] are classified via
+    {!Errors.of_exn}.  [sleep] defaults to [Unix.sleepf]; tests pass
+    [ignore] to run the schedule without waiting.  Bumps the
+    [robust.retry.*] counters. *)

@@ -96,9 +96,12 @@ let answer_to_string a =
 
 let top = Interval.make 0.0 1.0
 
+let all_rungs = [ Lifted; Exact; Anytime; Monte_carlo ]
+
 let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
     ?bdd_gc_threshold ?(mc_samples = 20_000) ?(policy = Retry.default_policy)
-    ?(sleep = fun (_ : float) -> ()) ?(domains = 1) ?(seed = 0) src phi =
+    ?(sleep = fun (_ : float) -> ()) ?(domains = 1) ?(seed = 0)
+    ?(rungs = all_rungs) src phi =
   if not (eps > 0.0 && eps < 0.5) then
     invalid_arg "Robust_eval.query: eps must lie in (0, 1/2)";
   if Fo.free_vars phi <> [] then
@@ -125,7 +128,9 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
             iv rest
       in
       let retryable = function
-        | Errors.Engine_failure _ | Errors.Divergent_source _ -> true
+        | Errors.Engine_failure _ | Errors.Divergent_source _
+        | Errors.Transport _ ->
+          true
         | Errors.Parse _ | Errors.Model_invalid _ | Errors.Budget_exhausted _
           ->
           false
@@ -140,6 +145,13 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
       in
       let attempts = ref [] in
       let rung eng skip runner =
+        (* Rungs excluded by the caller (the serving layer's load-shed
+           ladder) are recorded as skipped, keeping the provenance shape
+           stable under admission-control decisions. *)
+        let skip () =
+          if not (List.mem eng rungs) then Some "shed: rung disabled by caller"
+          else skip ()
+        in
         match skip () with
         | Some why ->
           attempts := { engine = eng; tries = 0; outcome = Skipped why } :: !attempts

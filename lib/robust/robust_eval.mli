@@ -82,6 +82,7 @@ val query :
   ?sleep:(float -> unit) ->
   ?domains:int ->
   ?seed:int ->
+  ?rungs:engine list ->
   Fact_source.t ->
   Fo.t ->
   answer
@@ -101,6 +102,15 @@ val query :
     exact and anytime rungs (operation-cache entries and allocations
     between garbage collections, see {!Bdd.manager}); with GC enabled,
     swept nodes are refunded so [max_bdd_nodes] caps {e live} nodes.
+
+    [rungs] restricts which ladder rungs may run (default: all of
+    [Lifted; Exact; Anytime; Monte_carlo]).  This is the serving
+    layer's load-shedding knob: under pressure the admission controller
+    passes [\[Lifted; Monte_carlo\]] so a request skips compilation
+    entirely and pays only a polynomial plan or a reduced sampling run.
+    Excluded rungs appear in the provenance as skipped; the soundness
+    contract is unchanged (fewer certificates only widen the
+    enclosure).
 
     Never raises on faults or exhaustion — those come back in the
     provenance.  @raise Invalid_argument only on caller errors: [eps]

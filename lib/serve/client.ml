@@ -1,0 +1,75 @@
+(* Client library: persistent connections plus a retrying one-shot call.
+
+   Every wire-level failure is normalized to [Errors.Transport] carrying
+   the endpoint, so the retry layer can recognize it as transient and
+   callers get one uniform error taxonomy whether the fault was a
+   refused connect, an injected drop, or a truncated response. *)
+
+type conn = { fd : Unix.file_descr; endpoint : string }
+
+let transport_fail endpoint msg =
+  Errors.raise_error (Errors.Transport { endpoint; msg })
+
+let sockaddr_of = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg ("cannot resolve host " ^ host))
+    in
+    Unix.ADDR_INET (addr, port)
+
+let connect endpoint =
+  let name = Server.endpoint_to_string endpoint in
+  let domain =
+    match endpoint with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (sockaddr_of endpoint) with
+  | () -> { fd; endpoint = name }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    transport_fail name ("connect: " ^ Unix.error_message e)
+
+let close conn =
+  try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()
+
+let request ?transport ?(sleep = Unix.sleepf) conn req =
+  let payload = Protocol.encode_request req in
+  (match transport with
+  | None -> (
+    try Protocol.write_frame conn.fd payload
+    with Unix.Unix_error (e, _, _) ->
+      transport_fail conn.endpoint ("send: " ^ Unix.error_message e))
+  | Some ft -> (
+    match Faulty_transport.send ~sleep ft conn.fd payload with
+    | Faulty_transport.Sent -> ()
+    | Faulty_transport.Dropped ->
+      transport_fail conn.endpoint "send: request dropped (injected fault)"
+    | Faulty_transport.Truncated_sent ->
+      transport_fail conn.endpoint "send: request truncated (injected fault)"
+    | exception Unix.Unix_error (e, _, _) ->
+      transport_fail conn.endpoint ("send: " ^ Unix.error_message e)));
+  match Protocol.read_frame conn.fd with
+  | exception Protocol.Frame_error fe ->
+    transport_fail conn.endpoint
+      ("receive: " ^ Protocol.frame_error_to_string fe)
+  | exception Unix.Unix_error (e, _, _) ->
+    transport_fail conn.endpoint ("receive: " ^ Unix.error_message e)
+  | payload -> (
+    match Protocol.decode_response payload with
+    | Ok resp -> resp
+    | Error msg -> transport_fail conn.endpoint ("receive: " ^ msg))
+
+let call ?policy ?(sleep = Unix.sleepf) ?budget ?(seed = 0) ?transport
+    endpoint req =
+  let retryable = function Errors.Transport _ -> true | _ -> false in
+  Retry.run ?policy ~sleep ?budget ~retryable ~what:"serve client" ~seed
+  @@ fun () ->
+  let conn = connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> close conn)
+    (fun () -> request ?transport ~sleep conn req)

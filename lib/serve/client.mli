@@ -1,0 +1,48 @@
+(** Client side of the resident query service.
+
+    Two layers: a persistent {!conn} for callers that manage their own
+    connection (the bench load generator), and the one-shot {!call}
+    that opens a fresh connection per attempt and wraps the whole
+    exchange in {!Retry.run} — the shape that makes injected transport
+    faults ({!Faulty_transport}) recoverable, because a dead connection
+    is simply abandoned and the next attempt reconnects.
+
+    All transport-level failures (refused connection, mid-frame EOF,
+    undecodable response) surface as {!Errors.Transport}, which the
+    retry layer treats as transient.  Server-level outcomes — including
+    [Overloaded] — are returned as values: whether to back off on an
+    overload hint is the caller's policy, not the transport's. *)
+
+type conn
+
+val connect : Server.endpoint -> conn
+(** @raise Errors.Error ([Transport _]) when the endpoint is
+    unreachable. *)
+
+val close : conn -> unit
+
+val request :
+  ?transport:Faulty_transport.t ->
+  ?sleep:(float -> unit) ->
+  conn ->
+  Protocol.request ->
+  Protocol.response
+(** One request/response exchange on an open connection, optionally
+    through the fault injector ([sleep] feeds its injected delays).
+    @raise Errors.Error ([Transport _]) on any wire failure — after
+    which the connection must be considered dead. *)
+
+val call :
+  ?policy:Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?budget:Budget.t ->
+  ?seed:int ->
+  ?transport:Faulty_transport.t ->
+  Server.endpoint ->
+  Protocol.request ->
+  (Protocol.response, Errors.t) result
+(** Connect, exchange, close — retried under [policy] (default
+    {!Retry.default_policy}) on [Transport] errors only, with backoff
+    sleeps clamped to [budget]'s remaining time, so a deadline-bounded
+    caller never oversleeps its own deadline.  [seed] fixes the jitter
+    schedule (default 0). *)

@@ -1,0 +1,262 @@
+(* Length-prefixed framing and a line-based message codec.
+
+   The framing layer is deliberately dumb: 4-byte big-endian length,
+   then the payload, with a hard 1 MiB cap checked *before* any body
+   byte is read, so a hostile or faulty peer cannot make the server
+   allocate from a corrupted length word.  The payload codec is one tag
+   line plus [key=value] lines with [String.escaped] values; unknown
+   keys are ignored so the format can grow. *)
+
+let max_frame = 1 lsl 20
+
+type frame_error =
+  | Oversized of int
+  | Truncated
+  | Closed
+  | Malformed of string
+
+let frame_error_to_string = function
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds %d" n max_frame
+  | Truncated -> "connection closed mid-frame"
+  | Closed -> "connection closed"
+  | Malformed msg -> "malformed payload: " ^ msg
+
+exception Frame_error of frame_error
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd buf off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    let n = Unix.write_substring fd buf !off !len in
+    off := !off + n;
+    len := !len - n
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg
+      (Printf.sprintf "Protocol.write_frame: %d bytes exceeds max_frame" n);
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  (* One write for header+payload keeps small frames in one segment. *)
+  write_all fd (Bytes.to_string header ^ payload) 0 (n + 4)
+
+(* [at_start] distinguishes a clean close (EOF before any frame byte)
+   from a truncation (EOF with a partial frame buffered). *)
+let read_exactly fd n ~at_start =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then
+      raise
+        (Frame_error (if at_start && !off = 0 then Closed else Truncated));
+    off := !off + k
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = read_exactly fd 4 ~at_start:true in
+  let n = Int32.to_int (String.get_int32_be header 0) in
+  if n < 0 || n > max_frame then raise (Frame_error (Oversized n));
+  if n = 0 then "" else read_exactly fd n ~at_start:false
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Query of {
+      query : string;
+      eps : float option;
+      deadline_ms : int option;
+      mc_samples : int option;
+      seed : int;
+    }
+  | Health
+  | Stats_req
+  | Drain
+
+type response =
+  | Answer of {
+      lo : float;
+      hi : float;
+      estimate : float;
+      provenance : string;
+      budget_exhausted : bool;
+      cached : bool;
+      shed : bool;
+    }
+  | Overloaded of { retry_after_ms : int; draining : bool }
+  | Error_resp of { code : int; msg : string }
+  | Health_ok of { draining : bool; inflight : int; uptime_s : float }
+  | Stats_resp of (string * float) list
+
+let render tag fields =
+  String.concat "\n"
+    (tag
+    :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (String.escaped v))
+         fields)
+
+(* Floats round-trip through %h (hex float literals), so an enclosure
+   survives the wire bit-for-bit — soundness must not leak in printing. *)
+let f_to_s v = Printf.sprintf "%h" v
+let f_of_s s = Stdlib.float_of_string s
+let b_to_s v = if v then "1" else "0"
+
+let parse_payload s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "empty payload"
+  | tag :: rest ->
+    let fields =
+      List.filter_map
+        (fun line ->
+          if line = "" then None
+          else
+            match String.index_opt line '=' with
+            | None -> Some (line, None) (* flagged malformed on lookup *)
+            | Some i ->
+              Some
+                ( String.sub line 0 i,
+                  Some (String.sub line (i + 1) (String.length line - i - 1))
+                ))
+        rest
+    in
+    Ok (tag, fields)
+
+(* Field accessors; any failure is reported as a decode error, not an
+   exception, so a corrupted frame can never crash a connection loop. *)
+let lookup fields k =
+  match List.assoc_opt k fields with
+  | Some (Some raw) -> (
+    match Scanf.unescaped raw with
+    | v -> Ok v
+    | exception _ -> Error (Printf.sprintf "field %s: bad escape" k))
+  | Some None -> Error (Printf.sprintf "field %s: missing '='" k)
+  | None -> Error (Printf.sprintf "missing field %s" k)
+
+let ( let* ) = Result.bind
+
+let req_str fields k = lookup fields k
+
+let conv name conv_fn k fields =
+  let* raw = lookup fields k in
+  match conv_fn raw with
+  | v -> Ok v
+  | exception _ -> Error (Printf.sprintf "field %s: not a %s" k name)
+
+let req_int = conv "number" int_of_string
+let req_float = conv "float" f_of_s
+
+let req_bool k fields =
+  let* v = req_int k fields in
+  Ok (v <> 0)
+
+let opt_field get k fields =
+  if List.mem_assoc k fields then
+    let* v = get k fields in
+    Ok (Some v)
+  else Ok None
+
+let encode_request = function
+  | Query { query; eps; deadline_ms; mc_samples; seed } ->
+    let opt f name v = Option.map (fun v -> (name, f v)) v in
+    render "query"
+      (List.filter_map Fun.id
+         [
+           Some ("q", query);
+           opt f_to_s "eps" eps;
+           opt string_of_int "deadline_ms" deadline_ms;
+           opt string_of_int "mc_samples" mc_samples;
+           Some ("seed", string_of_int seed);
+         ])
+  | Health -> render "health" []
+  | Stats_req -> render "stats" []
+  | Drain -> render "drain" []
+
+let decode_request s =
+  let* tag, fields = parse_payload s in
+  match tag with
+  | "query" ->
+    let* query = req_str fields "q" in
+    let* eps = opt_field req_float "eps" fields in
+    let* deadline_ms = opt_field req_int "deadline_ms" fields in
+    let* mc_samples = opt_field req_int "mc_samples" fields in
+    let* seed = req_int "seed" fields in
+    Ok (Query { query; eps; deadline_ms; mc_samples; seed })
+  | "health" -> Ok Health
+  | "stats" -> Ok Stats_req
+  | "drain" -> Ok Drain
+  | t -> Error (Printf.sprintf "unknown request tag %S" t)
+
+let encode_response = function
+  | Answer { lo; hi; estimate; provenance; budget_exhausted; cached; shed } ->
+    render "answer"
+      [
+        ("lo", f_to_s lo);
+        ("hi", f_to_s hi);
+        ("estimate", f_to_s estimate);
+        ("provenance", provenance);
+        ("budget_exhausted", b_to_s budget_exhausted);
+        ("cached", b_to_s cached);
+        ("shed", b_to_s shed);
+      ]
+  | Overloaded { retry_after_ms; draining } ->
+    render "overloaded"
+      [
+        ("retry_after_ms", string_of_int retry_after_ms);
+        ("draining", b_to_s draining);
+      ]
+  | Error_resp { code; msg } ->
+    render "error" [ ("code", string_of_int code); ("msg", msg) ]
+  | Health_ok { draining; inflight; uptime_s } ->
+    render "health_ok"
+      [
+        ("draining", b_to_s draining);
+        ("inflight", string_of_int inflight);
+        ("uptime_s", f_to_s uptime_s);
+      ]
+  | Stats_resp entries ->
+    render "stats_ok"
+      (List.map (fun (k, v) -> ("s." ^ k, f_to_s v)) entries)
+
+let decode_response s =
+  let* tag, fields = parse_payload s in
+  match tag with
+  | "answer" ->
+    let* lo = req_float "lo" fields in
+    let* hi = req_float "hi" fields in
+    let* estimate = req_float "estimate" fields in
+    let* provenance = req_str fields "provenance" in
+    let* budget_exhausted = req_bool "budget_exhausted" fields in
+    let* cached = req_bool "cached" fields in
+    let* shed = req_bool "shed" fields in
+    Ok (Answer { lo; hi; estimate; provenance; budget_exhausted; cached; shed })
+  | "overloaded" ->
+    let* retry_after_ms = req_int "retry_after_ms" fields in
+    let* draining = req_bool "draining" fields in
+    Ok (Overloaded { retry_after_ms; draining })
+  | "error" ->
+    let* code = req_int "code" fields in
+    let* msg = req_str fields "msg" in
+    Ok (Error_resp { code; msg })
+  | "health_ok" ->
+    let* draining = req_bool "draining" fields in
+    let* inflight = req_int "inflight" fields in
+    let* uptime_s = req_float "uptime_s" fields in
+    Ok (Health_ok { draining; inflight; uptime_s })
+  | "stats_ok" ->
+    let rec go acc = function
+      | [] -> Ok (Stats_resp (List.rev acc))
+      | (k, _) :: rest when String.starts_with ~prefix:"s." k ->
+        let name = String.sub k 2 (String.length k - 2) in
+        let* v = req_float k fields in
+        go ((name, v) :: acc) rest
+      | (k, _) :: _ -> Error (Printf.sprintf "stats_ok: bad field %s" k)
+    in
+    go [] fields
+  | t -> Error (Printf.sprintf "unknown response tag %S" t)

@@ -1,0 +1,60 @@
+(* Bounded FIFO cache of certified answers, keyed by (query, policy),
+   reused epsilon-aware: an entry serves any request whose error target
+   its enclosure already meets. *)
+
+let c_hit = Stats.counter "serve.cache.hit"
+let c_miss = Stats.counter "serve.cache.miss"
+let c_evict = Stats.counter "serve.cache.evict"
+
+type key = string * string
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  entries : (key, Robust_eval.answer) Hashtbl.t;
+  order : key Queue.t;  (* insertion order; evict from the front *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Result_cache.create: negative capacity";
+  {
+    capacity;
+    lock = Mutex.create ();
+    entries = Hashtbl.create (max 16 capacity);
+    order = Queue.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~query ~policy ~eps =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries (query, policy) with
+      | Some a when Interval.width a.Robust_eval.enclosure <= 2.0 *. eps ->
+        Stats.incr c_hit;
+        Some a
+      | _ ->
+        Stats.incr c_miss;
+        None)
+
+let store t ~query ~policy answer =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        let key = (query, policy) in
+        match Hashtbl.find_opt t.entries key with
+        | Some old ->
+          if
+            Interval.width answer.Robust_eval.enclosure
+            < Interval.width old.Robust_eval.enclosure
+          then Hashtbl.replace t.entries key answer
+        | None ->
+          if Hashtbl.length t.entries >= t.capacity then begin
+            let oldest = Queue.pop t.order in
+            Hashtbl.remove t.entries oldest;
+            Stats.incr c_evict
+          end;
+          Hashtbl.replace t.entries key answer;
+          Queue.push key t.order)
+
+let length t = locked t (fun () -> Hashtbl.length t.entries)

@@ -1,0 +1,36 @@
+(** Bounded, epsilon-aware cache of certified answers.
+
+    Keys are [(query, policy)] — a server instance evaluates every query
+    against one table and one truncation discipline, and the policy
+    string pins the open-world completion, so two textually equal
+    queries under the same policy have the same true probability.
+
+    Reuse is {e epsilon-aware} rather than epsilon-keyed: a stored
+    answer satisfies a request for error target [eps] iff its certified
+    enclosure has width at most [2 * eps].  A tight cached answer thus
+    serves looser requests for free, and a loose one is transparently
+    recomputed when a tighter request arrives (and then replaces the
+    loose entry).
+
+    Only sound, certified, non-budget-exhausted answers should be stored
+    (the server enforces this), so a cache hit never weakens the
+    soundness contract.  Bounded capacity with FIFO eviction; all
+    operations take an internal mutex (cold path — evaluation dwarfs
+    it). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity = 0] disables caching (every lookup misses).
+    @raise Invalid_argument on a negative capacity. *)
+
+val find :
+  t -> query:string -> policy:string -> eps:float -> Robust_eval.answer option
+(** A stored answer whose enclosure width is at most [2 * eps], if any.
+    Bumps [serve.cache.hit] / [serve.cache.miss]. *)
+
+val store : t -> query:string -> policy:string -> Robust_eval.answer -> unit
+(** Insert or replace (replacement keeps the narrower enclosure).
+    Evicts the oldest entry when full; bumps [serve.cache.evict]. *)
+
+val length : t -> int

@@ -188,6 +188,46 @@ let test_retry_budget_stops_attempts () =
   (match r with Error _ -> () | Ok _ -> Alcotest.fail "should not succeed");
   Alcotest.(check bool) "attempts cut short" true (!calls < 5)
 
+(* Regression: backoff sleeps are clamped to the budget's remaining wall
+   time.  This chain wants to sleep 0.2 s + 0.4 s between attempts, but
+   the budget's deadline is 50 ms — before the clamp, the run would
+   voluntarily overshoot the deadline by an order of magnitude. *)
+let test_retry_sleeps_capped_by_deadline () =
+  let b = Budget.create ~timeout:0.05 () in
+  let slept = ref 0.0 in
+  let policy =
+    {
+      Retry.max_attempts = 3;
+      base_delay = 0.2;
+      multiplier = 2.0;
+      max_delay = 1.0;
+      jitter = 0.0;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Retry.run ~policy
+      ~sleep:(fun d ->
+        slept := !slept +. d;
+        Unix.sleepf d)
+      ~budget:b ~what:"test" ~seed:0
+      (fun () -> raise (Faulty_source.Transient "injected"))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match r with Error _ -> () | Ok _ -> Alcotest.fail "should not succeed");
+  Alcotest.(check bool)
+    (Printf.sprintf "total sleep %.3fs within deadline" !slept)
+    true (!slept <= 0.05 +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "returned in %.3fs, not after the 0.6s schedule" elapsed)
+    true
+    (elapsed < 0.15);
+  (* The static schedule agrees: cumulative delays never exceed the
+     budget's remaining time. *)
+  let ds = Retry.delays ~budget:(Budget.create ~timeout:0.05 ()) policy ~seed:0 in
+  Alcotest.(check bool) "schedule clamped" true
+    (List.fold_left ( +. ) 0.0 ds <= 0.05 +. 1e-9)
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection *)
 (* ------------------------------------------------------------------ *)
@@ -604,6 +644,8 @@ let () =
           Alcotest.test_case "non-retryable" `Quick test_retry_non_retryable;
           Alcotest.test_case "budget stops attempts" `Quick
             test_retry_budget_stops_attempts;
+          Alcotest.test_case "sleeps capped by deadline" `Quick
+            test_retry_sleeps_capped_by_deadline;
         ] );
       ( "faulty_source",
         [
