@@ -1249,6 +1249,7 @@ let e23 () =
         shed_samples = 200;
         default_deadline_s;
         cache_capacity;
+        warm_cache = None;
       }
     in
     let t = Server.start cfg in
@@ -1379,6 +1380,226 @@ let e23 () =
   metric "E23" "shed_rate" shed_rate;
   metric "E23" "deadline_hit_rate" deadline_hit_rate
 
+(* E24 -- Store: the persistent mmap fact store.
+
+   Three phases against the .iow pack format:
+
+   - cold boot: a 100k-fact table parsed from text (Ti_table.of_file:
+     line splitting, exact rational arithmetic, map building) vs
+     mmap-loading its pack (header + whole-file checksum, zero facts
+     decoded) and certifying a tail bound off the sidecar.  The ratio is
+     the gated number: the pack must boot at least 20x faster.
+   - truncation: 1000 tail-mass truncation queries answered by binary
+     search over the precomputed sidecar vs the linear prefix scan a
+     text-loaded table needs.  Gated at 10x.
+   - warm restart: an in-process server booted from the pack with
+     --warm-cache semantics: answer a costly open-world query, drain
+     (persisting the epsilon-aware result cache tagged with the pack
+     checksum), reboot, and re-ask — the warm boot must answer from the
+     restored cache (cached = true, serve.cache.warm.reused > 0). *)
+
+let e24 () =
+  header "E24" "Store: zero-parse mmap boot, O(1) slices, warm restarts";
+  let n = 100_000 in
+  let text_path = Filename.temp_file "iowpdb_e24" ".ti"
+  and pack_path = Filename.temp_file "iowpdb_e24" ".iow" in
+  let cleanup = ref [ text_path; pack_path ] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        !cleanup)
+  @@ fun () ->
+  (* Strictly descending distinct probabilities (2n-i)/(4n), so the pack
+     order is forced and every tail is distinct. *)
+  let oc = open_out text_path in
+  for i = 0 to n - 1 do
+    Printf.fprintf oc "R(%d) %d/%d\n" i ((2 * n) - i) (4 * n)
+  done;
+  close_out oc;
+  let best f =
+    let b = ref infinity and r = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      b := Float.min !b (Unix.gettimeofday () -. t0);
+      r := Some v
+    done;
+    (!b, Option.get !r)
+  in
+  (* --- cold boot ---------------------------------------------------- *)
+  let text_parse_seconds, ti = best (fun () -> Ti_table.of_file text_path) in
+  Store.write_ti ~path:pack_path ti;
+  let store_load_seconds, st =
+    best (fun () ->
+        let st = Store.load pack_path in
+        (* What serve --store does at boot: wrap the pack as a fact
+           source and certify one tail bound off the sidecar — still no
+           fact decoded. *)
+        let src = Store.fact_source st in
+        (match Fact_source.tail_mass src 0 with
+        | Some _ -> ()
+        | None -> failwith "E24 boot: pack source must certify its tail");
+        st)
+  in
+  (match Store.verify_against_ti st ti with
+  | Ok () -> ()
+  | Error msg -> failwith ("E24 boot: pack round-trip mismatch: " ^ msg));
+  let boot_speedup = text_parse_seconds /. store_load_seconds in
+  row "  cold boot, %d facts (%d pack bytes):\n" n (Store.byte_size st);
+  row "    text parse %.1f ms, mmap load %.2f ms — %.0fx\n"
+    (1e3 *. text_parse_seconds)
+    (1e3 *. store_load_seconds)
+    boot_speedup;
+  if boot_speedup < 20.0 then
+    failwith
+      (Printf.sprintf "E24 boot: speedup %.1fx below the 20x gate"
+         boot_speedup);
+  (* --- truncation slices -------------------------------------------- *)
+  let k_queries = 1_000 in
+  (* The text-loaded comparator: probabilities as floats (decoded once,
+     untimed), truncation by the linear prefix scan a sidecar-less table
+     needs — accumulate until the remaining mass drops under eps. *)
+  let probs = Array.init n (fun i -> Rational.to_float (Store.prob st i)) in
+  let total = Array.fold_left ( +. ) 0.0 probs in
+  let rng = Prng.create ~seed:24 () in
+  let targets =
+    Array.init k_queries (fun _ -> Store.tail_mass st (Prng.int rng (n + 1)))
+  in
+  let scan_for eps =
+    let acc = ref 0.0 and i = ref 0 in
+    while !i < n && total -. !acc > eps do
+      acc := !acc +. probs.(!i);
+      incr i
+    done;
+    !i
+  in
+  let slice_scan_seconds, _ =
+    best (fun () ->
+        let s = ref 0 in
+        Array.iter (fun eps -> s := !s + scan_for eps) targets;
+        !s)
+  in
+  let slice_sidecar_seconds, _ =
+    best (fun () ->
+        let s = ref 0 in
+        Array.iter
+          (fun eps -> s := !s + fst (Store.truncation_for_mass st ~eps))
+          targets;
+        !s)
+  in
+  (* Same answers up to float-rounding slack between the two
+     accumulators: the sidecar result must certify its bound. *)
+  Array.iter
+    (fun eps ->
+      let m, tail = Store.truncation_for_mass st ~eps in
+      if tail > eps then failwith "E24 slice: sidecar answer not certified";
+      if m > 0 && Store.tail_mass st (m - 1) <= eps then
+        failwith "E24 slice: sidecar answer not minimal")
+    targets;
+  let slice_speedup = slice_scan_seconds /. slice_sidecar_seconds in
+  row "  truncation, %d tail-mass queries on %d facts:\n" k_queries n;
+  row "    linear scan %.1f ms, sidecar search %.2f ms — %.0fx\n"
+    (1e3 *. slice_scan_seconds)
+    (1e3 *. slice_sidecar_seconds)
+    slice_speedup;
+  if slice_speedup < 10.0 then
+    failwith
+      (Printf.sprintf "E24 slice: speedup %.1fx below the 10x gate"
+         slice_speedup);
+  (* --- warm restart -------------------------------------------------- *)
+  let small_path = Filename.temp_file "iowpdb_e24" ".iow" in
+  let warm_path = Filename.temp_file "iowpdb_e24" ".cache" in
+  cleanup := small_path :: warm_path :: !cleanup;
+  Store.write_ti ~path:small_path
+    (Ti_table.create [ (r_fact 1, q 1 2); (r_fact 2, q 1 3); (r_fact 3, q 1 4) ]);
+  let small = Store.load small_path in
+  (try Sys.remove warm_path with Sys_error _ -> ());
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iowpdb_e24_%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Server.endpoint = `Unix sock;
+      make_source =
+        (fun () ->
+          Store.fact_source
+            ~rest:
+              (Fact_source.geometric ~first:Rational.half ~ratio:Rational.half
+                 ~facts:(fun j -> Fact.make "N" [ i j ])
+                 ())
+            small);
+      policy_label = "e24-geometric";
+      domains = 2;
+      admission = Admission.default_config;
+      default_eps = 0.01;
+      default_samples = 2_000;
+      shed_samples = 200;
+      default_deadline_s = Some 10.0;
+      cache_capacity = 64;
+      warm_cache = Some (warm_path, Store.checksum_hex small ^ ":e24");
+    }
+  in
+  let costly = "exists x. exists y. R(x) & N(y)" in
+  let ask ep =
+    let conn = Client.connect ep in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        Client.request conn
+          (Protocol.Query
+             {
+               query = costly;
+               eps = Some 1e-3;
+               deadline_ms = None;
+               mc_samples = None;
+               seed = 0;
+             }))
+  in
+  let boot () =
+    let t = Server.start cfg in
+    let t0 = Unix.gettimeofday () in
+    let r = ask (`Unix sock) in
+    let dt = Unix.gettimeofday () -. t0 in
+    Server.request_drain t;
+    Server.wait t;
+    (dt, r)
+  in
+  let cold_first_seconds, cold_r = boot () in
+  let reused_before = Stats.find (Stats.snapshot ()) "serve.cache.warm.reused" in
+  let warm_first_seconds, warm_r = boot () in
+  let warm_reused =
+    Stats.find (Stats.snapshot ()) "serve.cache.warm.reused" -. reused_before
+  in
+  (match (cold_r, warm_r) with
+  | ( Protocol.Answer { cached = false; lo; hi; _ },
+      Protocol.Answer { cached = true; lo = lo'; hi = hi'; _ } ) ->
+    if not (lo = lo' && hi = hi') then
+      failwith "E24 warm: restored enclosure differs from the computed one"
+  | Protocol.Answer { cached = true; _ }, _ ->
+    failwith "E24 warm: cold boot unexpectedly answered from cache"
+  | _, Protocol.Answer { cached = false; _ } ->
+    failwith "E24 warm: warm boot did not answer from the restored cache"
+  | _ -> failwith "E24 warm: expected answers");
+  if warm_reused < 1.0 then
+    failwith "E24 warm: serve.cache.warm.reused did not advance";
+  row "  warm restart (pack + persisted result cache):\n";
+  row "    cold first answer %.1f ms, warm first answer %.2f ms (reused %.0f)\n"
+    (1e3 *. cold_first_seconds)
+    (1e3 *. warm_first_seconds)
+    warm_reused;
+  metric "E24" "text_parse_seconds" text_parse_seconds;
+  metric "E24" "store_load_seconds" store_load_seconds;
+  metric "E24" "boot_speedup" boot_speedup;
+  metric "E24" "slice_scan_seconds" slice_scan_seconds;
+  metric "E24" "slice_sidecar_seconds" slice_sidecar_seconds;
+  metric "E24" "slice_speedup" slice_speedup;
+  metric "E24" "cold_first_seconds" cold_first_seconds;
+  metric "E24" "warm_first_seconds" warm_first_seconds;
+  metric "E24" "warm_reused" warm_reused
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 (* ------------------------------------------------------------------ *)
@@ -1389,6 +1610,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
     ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
+    ("E24", e24);
   ]
 
 let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) ]
@@ -1396,7 +1618,7 @@ let timing_experiments = [ ("E12", e12); ("E13", e13); ("D4", ablate_bdd_order) 
 (* The CI smoke subset: one experiment per engine family, each cheap at
    the reduced sample counts the [smoke] flag selects. *)
 let smoke_ids =
-  [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22"; "E23" ]
+  [ "E1"; "E3"; "E8"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22"; "E23"; "E24" ]
 
 let () =
   let args = Array.to_list Sys.argv in

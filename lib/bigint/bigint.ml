@@ -466,4 +466,49 @@ let of_string s =
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Bigint.of_string: %S" s)
 
+(* Little-endian magnitude bytes for the persistent store.  A base-2^30
+   limb stream is re-chunked into bytes through a small bit
+   accumulator; [bits] never exceeds 37 (30 new + at most 7 pending), so
+   the accumulator stays well inside a native int. *)
+let to_bytes_le x =
+  if x.sign < 0 then invalid_arg "Bigint.to_bytes_le: negative value";
+  let buf = Buffer.create (4 * Array.length x.mag) in
+  let acc = ref 0 and bits = ref 0 in
+  Array.iter
+    (fun limb ->
+      acc := !acc lor (limb lsl !bits);
+      bits := !bits + base_bits;
+      while !bits >= 8 do
+        Buffer.add_char buf (Char.chr (!acc land 0xff));
+        acc := !acc lsr 8;
+        bits := !bits - 8
+      done)
+    x.mag;
+  while !bits > 0 do
+    Buffer.add_char buf (Char.chr (!acc land 0xff));
+    acc := !acc lsr 8;
+    bits := !bits - 8
+  done;
+  (* Canonical form: no trailing zero bytes, so equal values have equal
+     encodings (the store's checksum relies on this). *)
+  let s = Buffer.contents buf in
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = '\000' do decr n done;
+  String.sub s 0 !n
+
+let of_bytes_le s =
+  let limbs = ref [] and acc = ref 0 and bits = ref 0 in
+  String.iter
+    (fun c ->
+      acc := !acc lor (Char.code c lsl !bits);
+      bits := !bits + 8;
+      if !bits >= base_bits then begin
+        limbs := (!acc land mask) :: !limbs;
+        acc := !acc lsr base_bits;
+        bits := !bits - base_bits
+      end)
+    s;
+  if !bits > 0 then limbs := !acc :: !limbs;
+  mk 1 (mag_normalize (Array.of_list (List.rev !limbs)))
+
 let pp fmt x = Format.pp_print_string fmt (to_string x)

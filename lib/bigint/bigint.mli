@@ -37,6 +37,15 @@ val of_string : string -> t
 val of_string_opt : string -> t option
 val to_string : t -> string
 
+val to_bytes_le : t -> string
+(** Little-endian magnitude bytes of a nonnegative value, with no
+    trailing zero bytes (canonical: equal values encode identically;
+    [to_bytes_le zero = ""]).  Used by the persistent fact store.
+    @raise Invalid_argument on a negative value. *)
+
+val of_bytes_le : string -> t
+(** Inverse of {!to_bytes_le}; ignores trailing zero bytes. *)
+
 (** {1 Queries} *)
 
 val sign : t -> int

@@ -10,6 +10,7 @@
                 under one budget, with retries and provenance
      sample   - draw worlds from the (optionally completed) PDB
      plan     - show the lifted safe plan for a query (dichotomy verdict)
+     pack     - compile a text table into the mmap'd .iow store format
      info     - table statistics
 
    Table files are the Ti_table text format: one "R(args...) prob" per
@@ -59,6 +60,29 @@ let parse_policy spec ti =
       ~ratio:(Rational.of_string ratio)
       ~new_facts:(fun j -> Fact.make "N" [ Value.Int j ])
       ti
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "bad policy %S (want lambda:<p>:<k> or geometric:<first>:<ratio>)"
+         spec)
+
+(* The completion tail of a policy as a bare fact source — the packed
+   boot path never materializes a Ti_table, so the policy's fresh facts
+   are built directly instead of through [Completion].  Must agree with
+   [parse_policy]'s [Completion.new_facts] so the two boot paths answer
+   identically. *)
+let policy_source spec =
+  let n_fact j = Fact.make "N" [ Value.Int j ] in
+  match String.split_on_char ':' spec with
+  | [ "lambda"; p; k ] ->
+    let lambda = Rational.of_string p and k = int_of_string k in
+    if Rational.equal lambda Rational.zero then Fact_source.of_list []
+    else Fact_source.of_list (List.init k (fun j -> (n_fact j, lambda)))
+  | [ "geometric"; first; ratio ] ->
+    Fact_source.geometric
+      ~first:(Rational.of_string first)
+      ~ratio:(Rational.of_string ratio)
+      ~facts:n_fact ()
   | _ ->
     invalid_arg
       (Printf.sprintf
@@ -806,16 +830,41 @@ let cache_arg =
           "Result-cache capacity: certified answers keyed by (query, \
            policy), reused epsilon-aware (0 disables).")
 
-let run_serve table socket tcp policy domains queue_bound window shed_at
-    reject_at max_bdd_nodes max_facts max_samples eps samples shed_samples
-    deadline cache =
+let run_serve table store_path warm_cache socket tcp policy domains
+    queue_bound window shed_at reject_at max_bdd_nodes max_facts max_samples
+    eps samples shed_samples deadline cache =
   guard @@ fun () ->
-  let ti = read_table table in
   (* Fact sources memoize internally, so the server gets a factory and
      builds a fresh one per request (worker domains must not share). *)
-  let make_source () =
-    let c = parse_policy policy ti in
-    Fact_source.append_finite (Ti_table.facts ti) (Completion.new_facts c)
+  let make_source, store_checksum =
+    match (table, store_path) with
+    | Some _, Some _ ->
+      invalid_arg "serve: give either a TABLE argument or --store, not both"
+    | None, None -> invalid_arg "serve: a TABLE argument or --store is required"
+    | Some table, None ->
+      let ti = read_table table in
+      ( (fun () ->
+          let c = parse_policy policy ti in
+          Fact_source.append_finite (Ti_table.facts ti)
+            (Completion.new_facts c)),
+        None )
+    | None, Some pack ->
+      (* Zero-parse boot: mmap + checksum, no fact decoded until a query
+         asks for it — the sidecar certifies tails in O(1). *)
+      let st = Store.load pack in
+      if Store.kind st <> Store.Ti then
+        invalid_arg (Printf.sprintf "serve: %s is not a TI pack" pack);
+      ( (fun () -> Store.fact_source ~rest:(policy_source policy) st),
+        Some (Store.checksum_hex st) )
+  in
+  let warm_cache =
+    match (warm_cache, store_checksum) with
+    | None, _ -> None
+    | Some _, None ->
+      invalid_arg
+        "serve: --warm-cache requires --store (the cache is validated \
+         against the pack checksum)"
+    | Some path, Some sum -> Some (path, sum ^ ":" ^ policy)
   in
   let cfg =
     {
@@ -838,9 +887,41 @@ let run_serve table socket tcp policy domains queue_bound window shed_at
       shed_samples;
       default_deadline_s = (if deadline <= 0.0 then None else Some deadline);
       cache_capacity = cache;
+      warm_cache;
     }
   in
   Server.run cfg
+
+let serve_table_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"TABLE"
+        ~doc:
+          "TI table text file (one 'R(args) prob' per line).  Omit when \
+           booting from $(b,--store).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PACK"
+        ~doc:
+          "Boot from a packed $(b,.iow) store instead of a text TABLE: \
+           the pack is mmap'd and checksum-validated, no fact is parsed \
+           or decoded until a query needs it, and truncation depths come \
+           from the precomputed tail-mass sidecar.")
+
+let warm_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "warm-cache" ] ~docv:"PATH"
+        ~doc:
+          "Persist the epsilon-aware result cache to PATH on drain and \
+           restore it at boot.  The file is tagged with the pack \
+           checksum and the policy spec, and is rejected wholesale if \
+           either has changed — requires $(b,--store).")
 
 let serve_cmd =
   let doc =
@@ -852,15 +933,91 @@ let serve_cmd =
      robust ladder or rejected with a retry-after hint, and on deadline \
      expiry a request returns its best-so-far sound enclosure instead \
      of timing out.  SIGTERM (or a drain request) finishes in-flight \
-     work, rejects new queries, and exits cleanly."
+     work, rejects new queries, and exits cleanly.  With $(b,--store) \
+     the table comes from a packed $(b,.iow) file (zero-parse mmap \
+     boot) and $(b,--warm-cache) carries certified answers across \
+     restarts."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run_serve $ table_arg $ socket_arg $ tcp_arg $ policy_arg
-      $ serve_domains_arg $ queue_bound_arg $ window_arg $ shed_at_arg
-      $ reject_at_arg $ max_bdd_nodes_arg $ max_facts_arg $ max_samples_arg
-      $ eps_arg $ serve_samples_arg $ shed_samples_arg $ serve_deadline_arg
+      const run_serve $ serve_table_arg $ store_arg $ warm_cache_arg
+      $ socket_arg $ tcp_arg $ policy_arg $ serve_domains_arg
+      $ queue_bound_arg $ window_arg $ shed_at_arg $ reject_at_arg
+      $ max_bdd_nodes_arg $ max_facts_arg $ max_samples_arg $ eps_arg
+      $ serve_samples_arg $ shed_samples_arg $ serve_deadline_arg
       $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pack: compile a text table into the mmap'd store format *)
+(* ------------------------------------------------------------------ *)
+
+let pack_out_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"OUT" ~doc:"Output pack path (conventionally .iow).")
+
+let pack_kind_arg =
+  Arg.(
+    value & opt string "ti"
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:
+          "Input table kind: $(b,ti) (tuple-independent, the default) or \
+           $(b,bid) (block-independent-disjoint).")
+
+let pack_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "After writing, re-load the pack and check every fact and \
+           probability is rationally identical to the text table \
+           (exit 2 on any mismatch).")
+
+let run_pack table out kind verify =
+  guard @@ fun () ->
+  let verify_fn =
+    match kind with
+    | "ti" ->
+      let ti = Ti_table.of_file table in
+      Store.write_ti ~path:out ti;
+      fun st -> Store.verify_against_ti st ti
+    | "bid" ->
+      let bid = Bid_table.of_file table in
+      Store.write_bid ~path:out bid;
+      fun st -> Store.verify_against_bid st bid
+    | k -> invalid_arg (Printf.sprintf "bad --kind %S (want ti or bid)" k)
+  in
+  let st = Store.load out in
+  Printf.printf "packed:   %s\n" out;
+  Printf.printf "kind:     %s\n"
+    (match Store.kind st with Store.Ti -> "ti" | Store.Bid -> "bid");
+  Printf.printf "facts:    %d\n" (Store.size st);
+  if Store.kind st = Store.Bid then
+    Printf.printf "blocks:   %d\n" (Store.num_blocks st);
+  Printf.printf "bytes:    %d\n" (Store.byte_size st);
+  Printf.printf "checksum: %s\n" (Store.checksum_hex st);
+  if verify then
+    match verify_fn st with
+    | Ok () ->
+      Printf.printf "verify:   ok (%d facts round-trip rationally identical)\n"
+        (Store.size st)
+    | Error msg ->
+      raise (Errors.Error (Errors.Store { path = out; region = "verify"; msg }))
+
+let pack_cmd =
+  let doc =
+    "Compile a text table into the packed $(b,.iow) store format: facts \
+     dictionary-encoded and sorted by descending probability, exact \
+     rational probabilities, a precomputed tail-mass sidecar (so \
+     truncation is an O(1) slice or an O(log n) binary search), and a \
+     whole-file checksum behind a magic/version header.  $(b,serve \
+     --store) then boots from the pack with an mmap instead of a parse."
+  in
+  Cmd.v (Cmd.info "pack" ~doc)
+    Term.(
+      const run_pack $ table_arg $ pack_out_arg $ pack_kind_arg
+      $ pack_verify_arg)
 
 let request_arg =
   Arg.(
@@ -1003,6 +1160,7 @@ let root =
       sample_cmd;
       plan_cmd;
       fuzz_cmd;
+      pack_cmd;
       serve_cmd;
       client_cmd;
       info_cmd;

@@ -3,6 +3,11 @@ type t = {
   (* Cached sampling plan: facts of the sampled prefix with float
      marginals, keyed by the prefix length it was built for. *)
   mutable plan : (int * (Fact.t * float) array) option;
+  (* Last truncation-for-mass answer: (eps, least n, table).  Repeating
+     the same eps is free; a tighter eps resumes the tail-mass search at
+     the cached n instead of re-galloping from 0 (the anytime loop's
+     access pattern is a monotonically tightening eps). *)
+  mutable trunc : (float * int * Ti_table.t) option;
 }
 
 let create src =
@@ -12,10 +17,10 @@ let create src =
          "Countable_ti.create: source %s has no convergence certificate; by \
           Theorem 4.8 no tuple-independent PDB realizes divergent marginals"
          (Fact_source.name src))
-  else { src; plan = None }
+  else { src; plan = None; trunc = None }
 
 let create_r src =
-  if Fact_source.converges src then Ok { src; plan = None }
+  if Fact_source.converges src then Ok { src; plan = None; trunc = None }
   else
     Error
       (Errors.Divergent_source
@@ -64,9 +69,22 @@ let empty_world_prob_bounds t ~n =
 let truncate t ~n = Fact_source.truncate t.src n
 
 let truncate_for_mass t ~eps =
-  Option.map
-    (fun n -> (n, truncate t ~n))
-    (Fact_source.prefix_for_tail t.src eps)
+  match t.trunc with
+  | Some (eps0, n, tbl) when eps0 = eps -> Some (n, tbl)
+  | cached ->
+    (* The least satisfying n is antitone in eps: a previous answer at a
+       looser bound is a valid search floor for any tighter one. *)
+    let lo =
+      match cached with
+      | Some (eps0, n0, _) when eps <= eps0 -> n0
+      | _ -> 0
+    in
+    Option.map
+      (fun n ->
+        let tbl = truncate t ~n in
+        t.trunc <- Some (eps, n, tbl);
+        (n, tbl))
+      (Fact_source.prefix_for_tail ~lo t.src eps)
 
 let sample ?(tail_cut = ldexp 1.0 (-20)) ?(max_facts = 4096) t g =
   (* Draw each prefix fact independently; the prefix length is the least

@@ -56,7 +56,12 @@ val empty_world_prob_bounds : t -> n:int -> Interval.t
 val truncate : t -> n:int -> Ti_table.t
 val truncate_for_mass : t -> eps:float -> (int * Ti_table.t) option
 (** Least [n] whose tail mass is at most [eps], with the corresponding
-    finite table; [None] if no such [n] below the internal bound. *)
+    finite table; [None] if no such [n] below the internal bound.
+
+    The last answer is cached on the value: repeating the same [eps]
+    probes no tail certificates at all, and a tighter [eps] resumes the
+    search at the previous [n] (the least [n] is antitone in [eps])
+    instead of re-galloping from index 0. *)
 
 val sample : ?tail_cut:float -> ?max_facts:int -> t -> Prng.t -> Instance.t
 (** Draw a world.  Facts in the prefix up to the first tail bound below

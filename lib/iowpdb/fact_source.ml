@@ -123,11 +123,19 @@ let converges ?(max_n = default_max_n) s =
   in
   go 0
 
-let truncation ?(max_n = default_max_n) s bound =
+let truncation ?(max_n = default_max_n) ?(lo = 0) s bound =
   if bound < 0.0 then invalid_arg "Fact_source.truncation";
+  if lo < 0 || lo > max_n then invalid_arg "Fact_source.truncation: lo";
   (* Probe each index at most once and remember the certified value, so
      the caller never has to re-ask the certificate (whose answers may
-     depend on mutable scan state, or on a bounded probe budget). *)
+     depend on mutable scan state, or on a bounded probe budget).
+
+     [lo] is a caller-supplied search floor: when the caller knows (from
+     a previous search at a looser bound and an antitone certificate)
+     that no index below [lo] can satisfy this bound, the gallop starts
+     there and the bisection never revisits [0, lo).  The anytime loop's
+     tightening-eps pattern turns a from-scratch O(log n) probe ladder
+     into a handful of probes near the previous answer. *)
   let probed = Hashtbl.create 16 in
   let probe n =
     match Hashtbl.find_opt probed n with
@@ -140,8 +148,10 @@ let truncation ?(max_n = default_max_n) s bound =
   let ok n = match probe n with Some t -> t <= bound | None -> false in
   if not (ok max_n) then None
   else begin
-    let rec gallop n = if ok n then n else gallop (Stdlib.min max_n ((2 * n) + 1)) in
-    let hi = gallop 0 in
+    let rec gallop n =
+      if ok n then n else gallop (Stdlib.min max_n ((2 * n) + 1))
+    in
+    let hi = gallop lo in
     let rec bisect lo hi =
       if lo >= hi then hi
       else begin
@@ -149,13 +159,14 @@ let truncation ?(max_n = default_max_n) s bound =
         if ok mid then bisect lo mid else bisect (mid + 1) hi
       end
     in
-    let n = bisect 0 hi in
+    let n = bisect lo hi in
     match Hashtbl.find_opt probed n with
     | Some (Some t) -> Some (n, t)
     | _ -> assert false (* bisect only returns verified points *)
   end
 
-let prefix_for_tail ?max_n s bound = Option.map fst (truncation ?max_n s bound)
+let prefix_for_tail ?max_n ?lo s bound =
+  Option.map fst (truncation ?max_n ?lo s bound)
 
 let prefix_sum s n =
   List.fold_left (fun acc (_, p) -> Rational.add acc p) Rational.zero (prefix s n)

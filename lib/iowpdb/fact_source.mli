@@ -79,14 +79,27 @@ val converges : ?max_n:int -> t -> bool
     the already-scanned prefix — so a [false] here means "no certificate
     below [max_n]", not a proof of divergence. *)
 
-val truncation : ?max_n:int -> t -> float -> (int * float) option
+val truncation : ?max_n:int -> ?lo:int -> t -> float -> (int * float) option
 (** Least [n] with [tail n <= bound] together with the certified tail
     value at that [n] (galloping + binary search).  Each index is probed
     at most once and the returned value is the one observed during the
-    search, so callers need never re-consult the certificate. *)
+    search, so callers need never re-consult the certificate.
 
-val prefix_for_tail : ?max_n:int -> t -> float -> int option
+    [lo] (default 0) is a search floor: pass the answer of a previous
+    call at a looser bound to resume the search there instead of
+    re-galloping from 0 — sound whenever the certificate is antitone in
+    [n], which every certificate built by this module is.
+    @raise Invalid_argument if [bound < 0] or [lo] is outside
+    [\[0, max_n\]]. *)
+
+val prefix_for_tail : ?max_n:int -> ?lo:int -> t -> float -> int option
 (** [truncation] without the certified value. *)
+
+val seq_of : t -> (Fact.t * Rational.t) Seq.t
+(** The memoized enumeration as a sequence: entry [i] is [nth s i], so
+    re-traversal is free and pulls are shared with every other
+    consumer.  Used to concatenate sources (e.g. a packed store prefix
+    followed by a completion tail). *)
 
 val total_mass_upper : t -> int -> float option
 (** Exact prefix sum (as float) plus the tail bound at [n]. *)

@@ -245,7 +245,7 @@ let located ?file ~line msg =
   in
   invalid_arg (Printf.sprintf "Bid_table.of_lines: %s: %s" where msg)
 
-let of_lines ?file lines =
+let of_line_seq ?file lines =
   (* One block per line, the same format [to_string] emits:
      [block_id: R(args) p | S(args) q | ...].  Blank lines and '#'
      comments are ignored; 1-based line numbers in every error. *)
@@ -280,88 +280,86 @@ let of_lines ?file lines =
              (Rational.to_string p) (Fact.to_string f));
       (f, p)
   in
-  let blocks =
-    List.concat
-      (List.mapi
-         (fun i line ->
-           let lnum = i + 1 in
-           let line = String.trim line in
-           if line = "" || line.[0] = '#' then []
-           else begin
-             match String.index_opt line ':' with
-             | None ->
-               located ?file ~line:lnum
-                 (Printf.sprintf "no 'block_id:' prefix in %S" line)
-             | Some c ->
-               let block_id = String.trim (String.sub line 0 c) in
-               if block_id = "" then
-                 located ?file ~line:lnum "empty block id";
-               let rest =
-                 String.trim
-                   (String.sub line (c + 1) (String.length line - c - 1))
-               in
-               let alternatives =
-                 if rest = "" then []
-                 else
-                   List.map (parse_alt ~lnum) (String.split_on_char '|' rest)
-               in
-               (* Contradictory duplicates within the block are caught
-                  here with the line number; [create] would reject them
-                  too, but without a location. *)
-               let rec dup_check seen = function
-                 | [] -> ()
-                 | (f, p) :: rest ->
-                   (match
-                      List.find_opt (fun (f0, _) -> Fact.equal f f0) seen
-                    with
-                   | Some (_, p0) when not (Rational.equal p p0) ->
-                     located ?file ~line:lnum
-                       (Printf.sprintf
-                          "duplicate fact %s with probabilities %s and %s"
-                          (Fact.to_string f) (Rational.to_string p0)
-                          (Rational.to_string p))
-                   | _ -> ());
-                   dup_check ((f, p) :: seen) rest
-               in
-               dup_check [] alternatives;
-               (* Same-probability repeats collapse (mirrors Ti_table). *)
-               let alternatives =
-                 List.fold_left
-                   (fun acc (f, p) ->
-                     if List.exists (fun (f0, _) -> Fact.equal f f0) acc then
-                       acc
-                     else (f, p) :: acc)
-                   [] alternatives
-                 |> List.rev
-               in
-               [ ({ block_id; alternatives }, lnum) ]
-           end)
-         lines)
-  in
-  let rec block_dup seen = function
-    | [] -> ()
-    | (b, lnum) :: rest ->
-      (match List.find_opt (fun (b0, _) -> b0.block_id = b.block_id) seen with
-      | Some (_, l0) ->
+  let parse_block_line ~lnum line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else begin
+      match String.index_opt line ':' with
+      | None ->
         located ?file ~line:lnum
-          (Printf.sprintf "duplicate block id %s (already at line %d)"
-             b.block_id l0)
-      | None -> ());
-      block_dup ((b, lnum) :: seen) rest
+          (Printf.sprintf "no 'block_id:' prefix in %S" line)
+      | Some c ->
+        let block_id = String.trim (String.sub line 0 c) in
+        if block_id = "" then located ?file ~line:lnum "empty block id";
+        let rest =
+          String.trim (String.sub line (c + 1) (String.length line - c - 1))
+        in
+        let alternatives =
+          if rest = "" then []
+          else List.map (parse_alt ~lnum) (String.split_on_char '|' rest)
+        in
+        (* Contradictory duplicates within the block are caught here
+           with the line number; [create] would reject them too, but
+           without a location. *)
+        let rec dup_check seen = function
+          | [] -> ()
+          | (f, p) :: rest ->
+            (match List.find_opt (fun (f0, _) -> Fact.equal f f0) seen with
+            | Some (_, p0) when not (Rational.equal p p0) ->
+              located ?file ~line:lnum
+                (Printf.sprintf
+                   "duplicate fact %s with probabilities %s and %s"
+                   (Fact.to_string f) (Rational.to_string p0)
+                   (Rational.to_string p))
+            | _ -> ());
+            dup_check ((f, p) :: seen) rest
+        in
+        dup_check [] alternatives;
+        (* Same-probability repeats collapse (mirrors Ti_table). *)
+        let alternatives =
+          List.fold_left
+            (fun acc (f, p) ->
+              if List.exists (fun (f0, _) -> Fact.equal f f0) acc then acc
+              else (f, p) :: acc)
+            [] alternatives
+          |> List.rev
+        in
+        Some { block_id; alternatives }
+    end
   in
-  block_dup [] blocks;
-  create (List.map fst blocks)
+  (* Streaming fold: one pass, duplicate block ids rejected as they
+     arrive (with the first occurrence's line), blocks accumulated in
+     order.  Peak memory beyond the table itself is O(longest line). *)
+  let lnum = ref 0 and seen = ref SMap.empty and acc = ref [] in
+  Seq.iter
+    (fun line ->
+      incr lnum;
+      match parse_block_line ~lnum:!lnum line with
+      | None -> ()
+      | Some b -> (
+        match SMap.find_opt b.block_id !seen with
+        | Some l0 ->
+          located ?file ~line:!lnum
+            (Printf.sprintf "duplicate block id %s (already at line %d)"
+               b.block_id l0)
+        | None ->
+          seen := SMap.add b.block_id !lnum !seen;
+          acc := b :: !acc))
+    lines;
+  create (List.rev !acc)
+
+let of_lines ?file lines = of_line_seq ?file (List.to_seq lines)
 
 let of_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let rec lines acc =
+      let next () =
         match input_line ic with
-        | line -> lines (line :: acc)
-        | exception End_of_file -> List.rev acc
+        | line -> Some line
+        | exception End_of_file -> None
       in
-      of_lines ~file:path (lines []))
+      of_line_seq ~file:path (Seq.of_dispenser next))
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

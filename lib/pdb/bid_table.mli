@@ -73,5 +73,7 @@ val of_lines : ?file:string -> string list -> t
     @raise Invalid_argument on parse errors. *)
 
 val of_file : string -> t
-(** Reads and parses a whole file.  The file descriptor is released even
-    when parsing raises. *)
+(** Parses a file streaming line by line: peak memory beyond the table
+    itself is O(longest line), never the whole file.  Errors cite
+    [path:line] with 1-based line numbers.  The file descriptor is
+    released even when parsing raises. *)

@@ -118,81 +118,84 @@ let located ?file ~line msg =
   in
   invalid_arg (Printf.sprintf "Ti_table.of_lines: %s: %s" where msg)
 
-let of_lines ?file lines =
-  (* Line numbers are 1-based over the input as given (comments and blank
-     lines count), so errors point at the line an editor shows. *)
-  let entries =
-    List.concat
-      (List.mapi
-         (fun i line ->
-           let lnum = i + 1 in
-           let line = String.trim line in
-           if line = "" || line.[0] = '#' then []
-           else begin
-             (* The probability is the text after the closing parenthesis. *)
-             match String.rindex_opt line ')' with
-             | None ->
-               located ?file ~line:lnum
-                 (Printf.sprintf "no fact in %S" line)
-             | Some i ->
-               let fact_str = String.sub line 0 (i + 1) in
-               let prob_str =
-                 String.trim
-                   (String.sub line (i + 1) (String.length line - i - 1))
-               in
-               if prob_str = "" then
-                 located ?file ~line:lnum
-                   (Printf.sprintf "missing probability in %S" line);
-               let f =
-                 try Fact.of_string fact_str
-                 with Invalid_argument m | Failure m ->
-                   located ?file ~line:lnum m
-               in
-               let p =
-                 match Rational.of_string_opt prob_str with
-                 | Some p -> p
-                 | None ->
-                   located ?file ~line:lnum
-                     (Printf.sprintf "bad probability %S" prob_str)
-               in
-               if not (Rational.is_probability p) then
-                 located ?file ~line:lnum
-                   (Printf.sprintf "probability %s out of range for %s"
-                      (Rational.to_string p) (Fact.to_string f));
-               [ (f, p, lnum) ]
-           end)
-         lines)
-  in
-  (* Duplicate policy: repeating a fact with the same probability is
-     harmless redundancy and collapses; repeating it with a different one
-     is a contradiction and is rejected with both line numbers. *)
-  let _, deduped =
-    List.fold_left
-      (fun (seen, acc) (f, p, lnum) ->
-        match Fact.Map.find_opt f seen with
-        | None -> (Fact.Map.add f (p, lnum) seen, (f, p) :: acc)
+(* One line of the text format: [R(args...) p], blank, or [# comment].
+   Returns [None] for the latter two. *)
+let parse_line ?file ~lnum line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    (* The probability is the text after the closing parenthesis. *)
+    match String.rindex_opt line ')' with
+    | None -> located ?file ~line:lnum (Printf.sprintf "no fact in %S" line)
+    | Some i ->
+      let fact_str = String.sub line 0 (i + 1) in
+      let prob_str =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      if prob_str = "" then
+        located ?file ~line:lnum
+          (Printf.sprintf "missing probability in %S" line);
+      let f =
+        try Fact.of_string fact_str
+        with Invalid_argument m | Failure m -> located ?file ~line:lnum m
+      in
+      let p =
+        match Rational.of_string_opt prob_str with
+        | Some p -> p
+        | None ->
+          located ?file ~line:lnum
+            (Printf.sprintf "bad probability %S" prob_str)
+      in
+      if not (Rational.is_probability p) then
+        located ?file ~line:lnum
+          (Printf.sprintf "probability %s out of range for %s"
+             (Rational.to_string p) (Fact.to_string f));
+      Some (f, p)
+  end
+
+(* Streaming core shared by [of_lines] and [of_file]: one pass over the
+   lines, so [of_file] never materializes the file and peak memory
+   beyond the table itself is O(longest line).  Line numbers are 1-based
+   over the input as given (comments and blank lines count), so errors
+   point at the line an editor shows.
+
+   Duplicate policy: repeating a fact with the same probability is
+   harmless redundancy and collapses; repeating it with a different one
+   is a contradiction and is rejected with both line numbers. *)
+let of_line_seq ?file lines =
+  let lnum = ref 0 and seen = ref Fact.Map.empty and acc = ref [] in
+  Seq.iter
+    (fun line ->
+      incr lnum;
+      match parse_line ?file ~lnum:!lnum line with
+      | None -> ()
+      | Some (f, p) -> (
+        match Fact.Map.find_opt f !seen with
+        | None ->
+          seen := Fact.Map.add f (p, !lnum) !seen;
+          acc := (f, p) :: !acc
         | Some (p0, l0) ->
-          if Rational.equal p p0 then (seen, acc)
-          else
-            located ?file ~line:lnum
+          if not (Rational.equal p p0) then
+            located ?file ~line:!lnum
               (Printf.sprintf
                  "duplicate fact %s with probability %s (already %s at line \
                   %d)"
                  (Fact.to_string f) (Rational.to_string p)
-                 (Rational.to_string p0) l0))
-      (Fact.Map.empty, []) entries
-  in
-  create (List.rev deduped)
+                 (Rational.to_string p0) l0)))
+    lines;
+  create (List.rev !acc)
+
+let of_lines ?file lines = of_line_seq ?file (List.to_seq lines)
 
 let of_file path =
   let ic = open_in path in
-  (* Close the channel even when a parse error escapes [of_lines]. *)
+  (* Close the channel even when a parse error escapes the stream. *)
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let rec lines acc =
+      let next () =
         match input_line ic with
-        | line -> lines (line :: acc)
-        | exception End_of_file -> List.rev acc
+        | line -> Some line
+        | exception End_of_file -> None
       in
-      of_lines ~file:path (lines []))
+      of_line_seq ~file:path (Seq.of_dispenser next))

@@ -16,6 +16,7 @@ type t =
                           partial : Interval.t option }
   | Engine_failure of { engine : string; msg : string }
   | Transport of { endpoint : string; msg : string }
+  | Store of { path : string; region : string; msg : string }
 
 exception Error of t
 
@@ -48,11 +49,13 @@ let to_string = function
     Printf.sprintf "engine failure (%s): %s" engine msg
   | Transport { endpoint; msg } ->
     Printf.sprintf "transport failure (%s): %s" endpoint msg
+  | Store { path; region; msg } ->
+    Printf.sprintf "store error (%s): %s: %s" path region msg
 
 let raise_error e = raise (Error e)
 
 let exit_code = function
-  | Parse _ | Model_invalid _ | Divergent_source _ -> 2
+  | Parse _ | Model_invalid _ | Divergent_source _ | Store _ -> 2
   | Budget_exhausted _ -> 3
   | Engine_failure _ | Transport _ -> 1
 

@@ -1,6 +1,6 @@
 (** Structured error taxonomy for the evaluation stack.
 
-    Five buckets, chosen so a supervisor can pick a different reaction
+    Buckets chosen so a supervisor can pick a different reaction
     for each: [Parse] and [Model_invalid] are the user's problem (report
     and exit); [Divergent_source] means no tuple-independent PDB exists
     for the enumeration, so no engine can ever succeed;
@@ -9,7 +9,10 @@
     broke but another might not.  [Transport] is the serving layer's
     class: a frame, connection or service fault between a client and a
     resident server — transient by nature, so retry wrappers treat it
-    like [Engine_failure] (back off and try again). *)
+    like [Engine_failure] (back off and try again).  [Store] is the
+    persistence layer's class: a packed on-disk table failed its
+    magic/version/checksum/structure validation, so it must be
+    re-packed — treated like a user input problem (exit 2). *)
 
 type t =
   | Parse of {
@@ -34,6 +37,16 @@ type t =
       endpoint : string;  (** socket path / peer the fault was seen on *)
       msg : string;
     }
+  | Store of {
+      path : string;  (** the pack file that failed validation *)
+      region : string;
+          (** which part was rejected: "header", "checksum", "facts", ... *)
+      msg : string;
+    }
+      (** A persistent pack failed to load: torn write, truncation, bit
+          rot, version skew.  Like [Parse] it is an input problem (exit
+          2), but it locates the damage inside the binary file rather
+          than at a text line. *)
 
 exception Error of t
 

@@ -132,7 +132,7 @@ let query ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts ?bdd_cache_size
         | Errors.Transport _ ->
           true
         | Errors.Parse _ | Errors.Model_invalid _ | Errors.Budget_exhausted _
-          ->
+        | Errors.Store _ ->
           false
       in
       let run_retried ~what ~rung f =

@@ -34,3 +34,23 @@ val store : t -> query:string -> policy:string -> Robust_eval.answer -> unit
     Evicts the oldest entry when full; bumps [serve.cache.evict]. *)
 
 val length : t -> int
+
+(** {1 Warm-restart persistence}
+
+    The cache can be serialised to a small text file tagged with a
+    caller-supplied {e validator} string — conventionally the packed
+    store's checksum concatenated with the completion-policy spec, so
+    that any change to the table bytes or the open-world completion
+    invalidates every saved enclosure at once. *)
+
+val save : t -> path:string -> validator:string -> int
+(** Serialise every entry (atomically, via write-then-rename) and return
+    the number written.  Bumps [serve.cache.warm.saved]. *)
+
+val load : t -> path:string -> validator:string -> int
+(** Restore entries saved by {!save}.  All-or-nothing: a missing file
+    restores 0 silently; a version or validator mismatch, or any
+    malformed entry, rejects the whole file, bumps
+    [serve.cache.warm.rejected], and restores 0.  Restored entries count
+    into [serve.cache.warm.loaded]; when one later satisfies a {!find},
+    [serve.cache.warm.reused] is bumped alongside the ordinary hit. *)

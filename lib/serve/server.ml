@@ -41,6 +41,9 @@ type config = {
   shed_samples : int;
   default_deadline_s : float option;
   cache_capacity : int;
+  warm_cache : (string * string) option;
+      (* (path, validator): persist the result cache here at drain and
+         restore from it at start when the validator matches. *)
 }
 
 let default_config make_source endpoint =
@@ -55,6 +58,7 @@ let default_config make_source endpoint =
     shed_samples = 2_000;
     default_deadline_s = Some 1.0;
     cache_capacity = 256;
+    warm_cache = None;
   }
 
 type mailbox = {
@@ -450,13 +454,26 @@ let start cfg =
       workers = [];
     }
   in
+  (match cfg.warm_cache with
+  | None -> ()
+  | Some (path, validator) ->
+    let n = Result_cache.load t.cache ~path ~validator in
+    if n > 0 then
+      Printf.eprintf "iowpdb serve: warm cache: restored %d entries\n%!" n);
   t.workers <- List.init cfg.domains (fun _ -> Domain.spawn (worker_loop t));
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
 
 let wait t =
   Option.iter Thread.join t.accept_thread;
-  List.iter Domain.join t.workers
+  List.iter Domain.join t.workers;
+  match t.cfg.warm_cache with
+  | None -> ()
+  | Some (path, validator) -> (
+    (* Best-effort: a full disk must not turn a clean drain into a
+       crash — the next boot simply starts cold. *)
+    try ignore (Result_cache.save t.cache ~path ~validator : int)
+    with Sys_error _ | Unix.Unix_error (_, _, _) -> ())
 
 let run cfg =
   (* Install the handlers BEFORE binding the socket: a supervisor that

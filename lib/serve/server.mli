@@ -45,11 +45,19 @@ type config = {
       (** deadline applied when the request has none; [None] = no
           deadline for such requests *)
   cache_capacity : int;  (** 0 disables the result cache *)
+  warm_cache : (string * string) option;
+      (** [(path, validator)]: restore the result cache from [path] at
+          {!start} (rejected wholesale unless the file's validator
+          string matches — see {!Result_cache.load}) and persist it back
+          after drain in {!wait}.  The validator conventionally combines
+          the packed store's checksum with the completion-policy spec,
+          so warm answers never outlive the data they certify. *)
 }
 
 val default_config : (unit -> Fact_source.t) -> endpoint -> config
 (** 2 domains, {!Admission.default_config}, eps 0.01, 20k/2k samples,
-    1 s default deadline, cache of 256, empty policy label. *)
+    1 s default deadline, cache of 256, empty policy label, no warm
+    cache. *)
 
 type t
 

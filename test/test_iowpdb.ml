@@ -242,6 +242,49 @@ let test_cti_truncate_for_mass () =
     Alcotest.(check int) "table size" 7 (Ti_table.size table)
   | None -> Alcotest.fail "expected truncation"
 
+let test_cti_truncation_resume_cache () =
+  (* Regression for the anytime loop's access pattern: tightening eps
+     must resume the tail-mass search at the previous answer instead of
+     re-galloping from index 0, and repeating the same eps must probe
+     nothing at all.  Probes are observable on the source.tail_probe
+     counter. *)
+  let probes = Stats.counter "source.tail_probe" in
+  let delta f =
+    let before = Stats.count probes in
+    let r = f () in
+    (r, Stats.count probes - before)
+  in
+  let t = Countable_ti.create (geo_source ()) in
+  let r1, fresh = delta (fun () -> Countable_ti.truncate_for_mass t ~eps:0.1) in
+  Alcotest.(check bool) "first call probes" true (fresh > 0);
+  let r2, again = delta (fun () -> Countable_ti.truncate_for_mass t ~eps:0.1) in
+  Alcotest.(check int) "same eps probes nothing" 0 again;
+  (match (r1, r2) with
+  | Some (n1, _), Some (n2, _) -> Alcotest.(check int) "same answer" n1 n2
+  | _ -> Alcotest.fail "truncation must exist");
+  (* Tightening: the resumed search gallops from the cached n, so it
+     costs strictly fewer probes than the same search on a fresh value. *)
+  let resumed_r, resumed =
+    delta (fun () -> Countable_ti.truncate_for_mass t ~eps:0.004)
+  in
+  let t' = Countable_ti.create (geo_source ()) in
+  let fresh_r, from_scratch =
+    delta (fun () -> Countable_ti.truncate_for_mass t' ~eps:0.004)
+  in
+  (match (resumed_r, fresh_r) with
+  | Some (n1, tbl1), Some (n2, tbl2) ->
+    Alcotest.(check int) "resumed = fresh answer" n2 n1;
+    Alcotest.(check int) "same table" (Ti_table.size tbl2) (Ti_table.size tbl1)
+  | _ -> Alcotest.fail "truncation must exist");
+  Alcotest.(check bool)
+    (Printf.sprintf "resumed %d < from-scratch %d probes" resumed from_scratch)
+    true
+    (resumed < from_scratch);
+  (* Loosening falls back to a from-scratch search but stays correct. *)
+  match Countable_ti.truncate_for_mass t ~eps:0.1 with
+  | Some (n, _) -> Alcotest.(check int) "loosened answer" 4 n
+  | None -> Alcotest.fail "loosened truncation must exist"
+
 let test_cti_sampling () =
   let t = Countable_ti.create (geo_source ()) in
   let g = Prng.create ~seed:2024 () in
@@ -785,6 +828,8 @@ let () =
           Alcotest.test_case "instance probability" `Quick test_cti_instance_prob;
           Alcotest.test_case "empty world" `Quick test_cti_empty_world;
           Alcotest.test_case "truncate for mass" `Quick test_cti_truncate_for_mass;
+          Alcotest.test_case "truncation resume cache" `Quick
+            test_cti_truncation_resume_cache;
           Alcotest.test_case "sampling" `Slow test_cti_sampling;
           Alcotest.test_case "sampled independence (Lemma 4.4)" `Slow
             test_cti_sampled_independence;

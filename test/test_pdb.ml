@@ -122,6 +122,44 @@ let test_ti_of_file_no_leak () =
   done;
   Alcotest.(check (option int)) "no fd leak" before (fd_count ())
 
+let test_ti_of_file_streaming_large () =
+  (* The parser streams line by line: a multi-MB generated table loads
+     without ever materializing the file, and errors deep in the file
+     still cite path:line.  (Correctness at scale is what's assertable;
+     the O(longest line) peak is by construction — no line list.) *)
+  let n = 60_000 in
+  let path = Filename.temp_file "iowpdb_large" ".ti" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc "# generated table\n";
+  for j = 1 to n do
+    Printf.fprintf oc "R(%d, \"pad_%016d\") %d/%d\n" j j j (2 * n)
+  done;
+  close_out oc;
+  Alcotest.(check bool)
+    "file is multi-MB" true
+    ((Unix.stat path).Unix.st_size > 2_000_000);
+  let t = Ti_table.of_file path in
+  Alcotest.(check int) "size" n (Ti_table.size t);
+  check_q "first" (q 1 (2 * n))
+    (Ti_table.prob t
+       (Fact.make "R" [ i 1; Value.Str (Printf.sprintf "pad_%016d" 1) ]));
+  check_q "last" Rational.half
+    (Ti_table.prob t
+       (Fact.make "R" [ i n; Value.Str (Printf.sprintf "pad_%016d" n) ]));
+  (* A malformed line deep in the file is still located precisely. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "R(0) 3/2\n";
+  close_out oc;
+  match Ti_table.of_file path with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cites line %d in %S" (n + 2) msg)
+      true
+      (Errors.contains_substring msg
+         (Printf.sprintf "%s:%d" path (n + 2)))
+
 let contains = Errors.contains_substring
 
 let expect_parse_error name lines needles =
@@ -632,6 +670,8 @@ let () =
           Alcotest.test_case "text format" `Quick test_ti_text_format;
           Alcotest.test_case "of_file" `Quick test_ti_of_file;
           Alcotest.test_case "of_file fd leak" `Quick test_ti_of_file_no_leak;
+          Alcotest.test_case "of_file streams multi-MB" `Slow
+            test_ti_of_file_streaming_large;
           Alcotest.test_case "located errors" `Quick test_ti_located_errors;
           Alcotest.test_case "duplicate policy" `Quick test_ti_duplicate_policy;
         ] );

@@ -293,6 +293,63 @@ let test_cache_bounded () =
   | None -> ()
   | Some _ -> Alcotest.fail "capacity 0 disables the cache"
 
+let test_cache_warm_roundtrip () =
+  let path = Filename.temp_file "iowpdb_warm" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let validator = "deadbeef:geometric:1/4:1/2" in
+  let c = Result_cache.create ~capacity:8 in
+  Result_cache.store c ~query:"exists x. R(x)" ~policy:"p"
+    (dummy_answer 0.50 0.51);
+  Result_cache.store c ~query:"q \"quoted\"\nnewline" ~policy:"p'"
+    (dummy_answer 0.25 0.25);
+  Alcotest.(check int) "saved" 2 (Result_cache.save c ~path ~validator);
+  (* Fresh cache, matching validator: everything comes back. *)
+  let c' = Result_cache.create ~capacity:8 in
+  let reused0 = Stats.count (Stats.counter "serve.cache.warm.reused") in
+  Alcotest.(check int) "loaded" 2 (Result_cache.load c' ~path ~validator);
+  (match Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~eps:0.01 with
+  | Some a ->
+    Alcotest.(check (float 0.0)) "lo survives" 0.50
+      (Interval.lo a.Robust_eval.enclosure);
+    Alcotest.(check (float 0.0)) "hi survives" 0.51
+      (Interval.hi a.Robust_eval.enclosure)
+  | None -> Alcotest.fail "restored entry must satisfy its own eps");
+  (match
+     Result_cache.find c' ~query:"q \"quoted\"\nnewline" ~policy:"p'" ~eps:0.01
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "quoting must survive the round-trip");
+  Alcotest.(check bool) "warm reuse counted" true
+    (Stats.count (Stats.counter "serve.cache.warm.reused") >= reused0 + 2);
+  (* A tighter answer computed after restore still replaces the warm one. *)
+  Result_cache.store c' ~query:"exists x. R(x)" ~policy:"p"
+    (dummy_answer 0.500 0.501);
+  (match Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~eps:0.0006
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "fresh narrower answer must replace the warm one");
+  (* Wrong validator: rejected wholesale. *)
+  let rejected0 = Stats.count (Stats.counter "serve.cache.warm.rejected") in
+  let c'' = Result_cache.create ~capacity:8 in
+  Alcotest.(check int) "validator mismatch restores nothing" 0
+    (Result_cache.load c'' ~path ~validator:"deadbeef:lambda:1/10:3");
+  Alcotest.(check int) "nothing restored" 0 (Result_cache.length c'');
+  Alcotest.(check bool) "rejection counted" true
+    (Stats.count (Stats.counter "serve.cache.warm.rejected") > rejected0);
+  (* Corrupt entry line: the whole file is rejected, not a prefix. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "entry \"z\" \"p\" 0x1.cp-1 0x1p-3 0x1p-2\n";
+  close_out oc;
+  let c3 = Result_cache.create ~capacity:8 in
+  Alcotest.(check int) "malformed entry rejects the file" 0
+    (Result_cache.load c3 ~path ~validator);
+  (* Missing file: silent cold start. *)
+  let c4 = Result_cache.create ~capacity:8 in
+  Alcotest.(check int) "missing file restores nothing" 0
+    (Result_cache.load c4 ~path:(path ^ ".absent") ~validator)
+
 (* ------------------------------------------------------------------ *)
 (* Fault schedule *)
 (* ------------------------------------------------------------------ *)
@@ -334,7 +391,7 @@ let next_socket =
       (Printf.sprintf "iowpdb_test_%d_%d.sock" (Unix.getpid ()) !n)
 
 let with_server ?(domains = 2) ?(admission = Admission.default_config)
-    ?default_deadline_s ?(cache_capacity = 64) make_source f =
+    ?default_deadline_s ?(cache_capacity = 64) ?warm_cache make_source f =
   let path = next_socket () in
   let cfg =
     {
@@ -348,6 +405,7 @@ let with_server ?(domains = 2) ?(admission = Admission.default_config)
       shed_samples = 200;
       default_deadline_s;
       cache_capacity;
+      warm_cache;
     }
   in
   let t = Server.start cfg in
@@ -641,6 +699,8 @@ let () =
         [
           Alcotest.test_case "epsilon-aware" `Quick test_cache_eps_aware;
           Alcotest.test_case "bounded" `Quick test_cache_bounded;
+          Alcotest.test_case "warm save/load round-trip" `Quick
+            test_cache_warm_roundtrip;
         ] );
       ( "faults",
         [ Alcotest.test_case "schedule mixes" `Quick test_fault_schedule_mixes ] );
