@@ -832,22 +832,34 @@ let cache_arg =
 
 let run_serve table store_path warm_cache socket tcp policy domains
     queue_bound window shed_at reject_at max_bdd_nodes max_facts max_samples
-    eps samples shed_samples deadline cache =
+    eps samples shed_samples deadline cache updatable =
   guard @@ fun () ->
   (* Fact sources memoize internally, so the server gets a factory and
      builds a fresh one per request (worker domains must not share). *)
-  let make_source, store_checksum =
+  let make_source, store_checksum, updatable_table =
     match (table, store_path) with
     | Some _, Some _ ->
       invalid_arg "serve: give either a TABLE argument or --store, not both"
     | None, None -> invalid_arg "serve: a TABLE argument or --store is required"
+    | Some table, None when updatable ->
+      (* Streaming updates need a finite materialized table the server
+         can own and mutate; it is served closed-world (the policy
+         would complete a table that no longer exists after the first
+         delta), so --policy is ignored here. *)
+      let ti = read_table table in
+      ((fun () -> Fact_source.of_ti_table ti), None, Some ti)
     | Some table, None ->
       let ti = read_table table in
       ( (fun () ->
           let c = parse_policy policy ti in
           Fact_source.append_finite (Ti_table.facts ti)
             (Completion.new_facts c)),
+        None,
         None )
+    | None, Some _ when updatable ->
+      invalid_arg
+        "serve: --updatable requires a text TABLE (a mmap'd pack cannot \
+         be mutated in place)"
     | None, Some pack ->
       (* Zero-parse boot: mmap + checksum, no fact decoded until a query
          asks for it — the sidecar certifies tails in O(1). *)
@@ -855,7 +867,8 @@ let run_serve table store_path warm_cache socket tcp policy domains
       if Store.kind st <> Store.Ti then
         invalid_arg (Printf.sprintf "serve: %s is not a TI pack" pack);
       ( (fun () -> Store.fact_source ~rest:(policy_source policy) st),
-        Some (Store.checksum_hex st) )
+        Some (Store.checksum_hex st),
+        None )
   in
   let warm_cache =
     match (warm_cache, store_checksum) with
@@ -870,7 +883,7 @@ let run_serve table store_path warm_cache socket tcp policy domains
     {
       Server.endpoint = endpoint_of ~socket ~tcp;
       make_source;
-      policy_label = policy;
+      policy_label = (if updatable then "" else policy);
       domains;
       admission =
         {
@@ -888,9 +901,23 @@ let run_serve table store_path warm_cache socket tcp policy domains
       default_deadline_s = (if deadline <= 0.0 then None else Some deadline);
       cache_capacity = cache;
       warm_cache;
+      updatable = updatable_table;
     }
   in
   Server.run cfg
+
+let updatable_arg =
+  Arg.(
+    value & flag
+    & info [ "updatable" ]
+        ~doc:
+          "Serve the text TABLE as a finite materialized table that \
+           $(b,client update) frames may mutate (insert / delete / \
+           reweight) while the server runs.  Each accepted update bumps \
+           the mutated relation's epoch, invalidating exactly the \
+           cached answers that read it; the table is served \
+           closed-world ($(b,--policy) is ignored).  Incompatible with \
+           $(b,--store).")
 
 let serve_table_arg =
   Arg.(
@@ -936,7 +963,9 @@ let serve_cmd =
      work, rejects new queries, and exits cleanly.  With $(b,--store) \
      the table comes from a packed $(b,.iow) file (zero-parse mmap \
      boot) and $(b,--warm-cache) carries certified answers across \
-     restarts."
+     restarts.  With $(b,--updatable) the table accepts streaming \
+     $(b,client update) deltas with per-relation epoch cache \
+     invalidation."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
@@ -945,7 +974,7 @@ let serve_cmd =
       $ queue_bound_arg $ window_arg $ shed_at_arg $ reject_at_arg
       $ max_bdd_nodes_arg $ max_facts_arg $ max_samples_arg $ eps_arg
       $ serve_samples_arg $ shed_samples_arg $ serve_deadline_arg
-      $ cache_arg)
+      $ cache_arg $ updatable_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pack: compile a text table into the mmap'd store format *)
@@ -1024,14 +1053,19 @@ let request_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"REQUEST"
-        ~doc:"One of $(b,query), $(b,health), $(b,stats), $(b,drain).")
+        ~doc:
+          "One of $(b,query), $(b,update), $(b,health), $(b,stats), \
+           $(b,drain).")
 
 let client_query_arg =
   Arg.(
     value
     & pos 1 (some string) None
     & info [] ~docv:"QUERY"
-        ~doc:"First-order sentence (required for $(b,query)).")
+        ~doc:
+          "First-order sentence (required for $(b,query)), or a delta \
+           like 'insert R(a) 1/2', 'delete R(a)', 'reweight R(a) 1/3' \
+           (required for $(b,update)).")
 
 let deadline_ms_arg =
   Arg.(
@@ -1076,12 +1110,17 @@ let run_client socket tcp request query eps deadline_ms mc_samples seed
       | Some q ->
         Protocol.Query { query = q; eps; deadline_ms; mc_samples; seed }
       | None -> invalid_arg "client query: missing QUERY argument")
+    | "update" -> (
+      match query with
+      | Some d -> Protocol.Update { delta = d }
+      | None -> invalid_arg "client update: missing DELTA argument")
     | "health" -> Protocol.Health
     | "stats" -> Protocol.Stats_req
     | "drain" -> Protocol.Drain
     | r ->
       invalid_arg
-        (Printf.sprintf "unknown request %S (want query|health|stats|drain)" r)
+        (Printf.sprintf
+           "unknown request %S (want query|update|health|stats|drain)" r)
   in
   let policy = { Retry.default_policy with Retry.max_attempts = retries } in
   match Client.call ~policy ~seed endpoint req with
@@ -1098,6 +1137,10 @@ let run_client socket tcp request query eps deadline_ms mc_samples seed
       (if shed then " (shed)" else "")
       (if budget_exhausted then " (budget exhausted: best-so-far)" else "");
     print_endline provenance;
+    0
+  | Ok (Protocol.Update_ok { relation; epoch; noop }) ->
+    Printf.printf "updated %s (epoch %d)%s\n" relation epoch
+      (if noop then " (no-op: table already satisfied the delta)" else "");
     0
   | Ok (Protocol.Overloaded { retry_after_ms; draining }) ->
     Printf.eprintf "iowpdb: server overloaded%s; retry after %d ms\n"
@@ -1117,8 +1160,8 @@ let run_client socket tcp request query eps deadline_ms mc_samples seed
 
 let client_cmd =
   let doc =
-    "Talk to a resident $(b,serve) instance: send one query (or a \
-     health, stats, or drain request) and print the reply.  Transport \
+    "Talk to a resident $(b,serve) instance: send one query (or an \
+     update, health, stats, or drain request) and print the reply.  Transport \
      faults are retried with capped backoff; exit codes: answer 0, \
      overloaded/draining 3, server-reported errors their own code, \
      unreachable server 1."

@@ -182,4 +182,39 @@ val fold_prob_many :
     [[||]] on the empty batch.
     @raise Invalid_argument if the roots span different managers. *)
 
+(** {1 Incremental weighted counting}
+
+    A {!prob_memo} keeps per-node fold results alive {e across} calls,
+    so that re-counting after a small weight change only pays [node]
+    calls on the slice of the DAG that can see a changed variable —
+    clean subgraphs are served from the memo without touching the
+    (possibly expensive) value arithmetic.  Node indices are only
+    stable between sweeps: clear the memo after anything that may have
+    run {!gc}, and after any structural recompilation that rebinds what
+    a variable means. *)
+
+type 'a prob_memo
+
+val prob_memo : unit -> 'a prob_memo
+val prob_memo_clear : 'a prob_memo -> unit
+
+val prob_memo_size : 'a prob_memo -> int
+(** Number of node entries currently held (diagnostics). *)
+
+val fold_prob_memo :
+  memo:'a prob_memo ->
+  dirty:(int -> bool) ->
+  zero:'a ->
+  one:'a ->
+  node:(int -> 'a -> 'a -> 'a) ->
+  t ->
+  'a
+(** {!fold_prob} with a persistent memo: [node v lo hi] runs only for
+    nodes whose subtree mentions a variable with [dirty v = true], or
+    that have no memo entry yet (fresh nodes); every other node reuses
+    its stored value.  The traversal itself still visits the whole DAG
+    (cheap pointer walk) — what is skipped is the value arithmetic.
+    All freshly computed values replace their memo entries, so calling
+    with [dirty = fun _ -> false] after a full pass is a pure replay. *)
+
 val pp : Format.formatter -> t -> unit

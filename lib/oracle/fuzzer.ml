@@ -7,9 +7,9 @@ module VSet = Set.Make (Value)
 (* Engines *)
 (* ------------------------------------------------------------------ *)
 
-type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch
+type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch | Delta
 
-let all_engines = [ Exact; Lifted; Approx; Anytime; Mc; Robust; Batch ]
+let all_engines = [ Exact; Lifted; Approx; Anytime; Mc; Robust; Batch; Delta ]
 
 let engine_to_string = function
   | Exact -> "exact"
@@ -19,6 +19,7 @@ let engine_to_string = function
   | Mc -> "mc"
   | Robust -> "robust"
   | Batch -> "batch"
+  | Delta -> "delta"
 
 let engine_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -29,6 +30,7 @@ let engine_of_string s =
   | "mc" -> Some Mc
   | "robust" -> Some Robust
   | "batch" -> Some Batch
+  | "delta" -> Some Delta
   | _ -> None
 
 let engines_of_string s =
@@ -50,7 +52,7 @@ let engines_of_string s =
             Error
               (Printf.sprintf
                  "unknown engine %S (expected \
-                  exact|lifted|approx|anytime|mc|robust|batch or all)"
+                  exact|lifted|approx|anytime|mc|robust|batch|delta or all)"
                  p))
       in
       go [] parts
@@ -70,6 +72,7 @@ let engine_of_check name =
   | "mc" -> Mc
   | "robust" -> Robust
   | "batch" -> Batch
+  | "mutation" | "delta" -> Delta
   | _ -> Exact
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +101,7 @@ type case = {
   bid : Bid_table.t option;
   policy : Oracle_gen.policy option;
   query : Fo.t;
+  deltas : Delta_eval.delta list;  (* mutation sequence; K_ti cases *)
 }
 
 let n_atom_sentence =
@@ -150,7 +154,15 @@ let generate cfg ~seed ~id =
       else Fo.And (phi, n_atom_sentence)
     | _ -> phi
   in
-  { id; kind; table; bid; policy; query }
+  let deltas =
+    (* Mutation sequences ride on the plain TI cases, where incremental
+       vs from-scratch is decidable by exact rational equality. *)
+    match kind with
+    | K_ti ->
+      Oracle_gen.mutations cfg g sch ~table ~len:(4 + Prng.int g 9)
+    | _ -> []
+  in
+  { id; kind; table; bid; policy; query; deltas }
 
 (* ------------------------------------------------------------------ *)
 (* Sources and spaces derived from a case *)
@@ -497,6 +509,95 @@ let run_case ?(engines = all_engines) ?(mc_samples = 1500)
             Some
               (Printf.sprintf "robust enclosure %s misses exact %s" (ivs iv)
                  (rs (Lazy.force truth_lim))))
+    end;
+    if case.deltas <> [] then begin
+      (* The incremental session's from-scratch reference after each
+         delta: padded limit semantics for cmp-free queries (the
+         session's own padding values close the comparison), exact
+         truncated semantics otherwise. *)
+      let scratch_of pads tbl =
+        if cmp_free then Query_eval.boolean ~extra_domain:pads tbl phi
+        else Query_eval.boolean tbl phi
+      in
+      check "mutation.incremental" (fun () ->
+          let s = Delta_eval.Exact.create case.table phi in
+          let tbl = ref case.table in
+          let step = ref 0 in
+          List.find_map
+            (fun d ->
+              incr step;
+              let k = Delta_eval.Exact.apply s d in
+              tbl := Delta_eval.apply_table !tbl d;
+              let inc = Delta_eval.Exact.prob s in
+              let scratch = scratch_of (Delta_eval.Exact.padding s) !tbl in
+              if Rational.equal inc scratch then None
+              else
+                Some
+                  (Printf.sprintf
+                     "step %d (%s, %s): incremental %s <> from-scratch %s"
+                     !step
+                     (Delta_eval.delta_to_string d)
+                     (Delta_eval.apply_kind_to_string k)
+                     (rs inc) (rs scratch)))
+            case.deltas);
+      check "mutation.interval" (fun () ->
+          (* The interval-carrier session must enclose the exact
+             from-scratch answer at every step. *)
+          let s = Delta_eval.Certified.create case.table phi in
+          let tbl = ref case.table in
+          let step = ref 0 in
+          List.find_map
+            (fun d ->
+              incr step;
+              ignore (Delta_eval.Certified.apply s d);
+              tbl := Delta_eval.apply_table !tbl d;
+              let iv = Delta_eval.Certified.prob s in
+              let scratch =
+                scratch_of (Delta_eval.Certified.padding s) !tbl
+              in
+              if contains_iv iv scratch then None
+              else
+                Some
+                  (Printf.sprintf "step %d (%s): interval %s misses exact %s"
+                     !step
+                     (Delta_eval.delta_to_string d)
+                     (ivs iv) (rs scratch)))
+            case.deltas);
+      check "mutation.inverse" (fun () ->
+          (* Every delta, taken from the sequence's evolving state, is
+             undone exactly by its inverse. *)
+          let s = Delta_eval.Exact.create case.table phi in
+          let step = ref 0 in
+          List.find_map
+            (fun d ->
+              incr step;
+              let p0 = Delta_eval.Exact.prob s in
+              let inv = Delta_eval.Exact.inverse s d in
+              ignore (Delta_eval.Exact.apply s d);
+              ignore (Delta_eval.Exact.apply s inv);
+              let p1 = Delta_eval.Exact.prob s in
+              if Rational.equal p0 p1 then None
+              else
+                Some
+                  (Printf.sprintf
+                     "step %d: %s then %s moved the answer: %s <> %s" !step
+                     (Delta_eval.delta_to_string d)
+                     (Delta_eval.delta_to_string inv)
+                     (rs p0) (rs p1)))
+            case.deltas);
+      check "mutation.noop" (fun () ->
+          (* Recognized no-ops never bump the epoch. *)
+          let s = Delta_eval.Exact.create case.table phi in
+          match Ti_table.facts case.table with
+          | [] -> None
+          | (f, p) :: _ ->
+            let e0 = Delta_eval.Exact.epoch s in
+            let k = Delta_eval.Exact.apply s (Delta_eval.Reweight (f, p)) in
+            if k = Delta_eval.Noop && Delta_eval.Exact.epoch s = e0 then None
+            else
+              Some
+                (Printf.sprintf "same-marginal reweight absorbed as %s"
+                   (Delta_eval.apply_kind_to_string k)))
     end
   | K_open ->
     let src = lazy (open_source case) in
@@ -806,7 +907,12 @@ let query_variants case =
   in
   List.map (fun q -> { case with query = q }) (subs @ [ Fo.True; Fo.False ])
 
-let case_variants case = ti_variants case @ bid_variants case @ query_variants case
+let delta_variants case =
+  List.mapi (fun i _ -> { case with deltas = drop_nth case.deltas i }) case.deltas
+
+let case_variants case =
+  ti_variants case @ bid_variants case @ query_variants case
+  @ delta_variants case
 
 let shrink ?(max_steps = 64) fl =
   let engines = [ engine_of_check fl.check ] in
@@ -855,6 +961,7 @@ let to_lines ~seed cc =
   @ (match case.policy with
     | None -> []
     | Some p -> [ "policy " ^ Oracle_gen.policy_to_string p ])
+  @ List.map (fun d -> "delta " ^ Delta_eval.delta_to_string d) case.deltas
   @ List.map (fun l -> "ti " ^ l) (nonblank_lines (Ti_table.to_string case.table))
   @
   match case.bid with
@@ -871,6 +978,7 @@ let of_lines ?file lines =
   and detail = ref ""
   and query = ref None
   and policy = ref None
+  and deltas = ref []
   and ti_lines = ref []
   and bid_lines = ref [] in
   List.iteri
@@ -903,6 +1011,10 @@ let of_lines ?file lines =
           | Ok q -> query := Some q
           | Error e -> invalid_arg (where i ^ ": bad query: " ^ e))
         | "policy" -> policy := Some (Oracle_gen.policy_of_string rest)
+        | "delta" -> (
+          match Delta_eval.delta_of_string rest with
+          | d -> deltas := d :: !deltas
+          | exception Invalid_argument e -> invalid_arg (where i ^ ": " ^ e))
         | "ti" -> ti_lines := rest :: !ti_lines
         | "bid" -> bid_lines := rest :: !bid_lines
         | _ -> invalid_arg (where i ^ ": unknown keyword " ^ kw)
@@ -925,7 +1037,16 @@ let of_lines ?file lines =
     | ls -> Some (Bid_table.of_lines ?file ls)
   in
   {
-    c_case = { id = !id; kind; table; bid; policy = !policy; query };
+    c_case =
+      {
+        id = !id;
+        kind;
+        table;
+        bid;
+        policy = !policy;
+        query;
+        deltas = List.rev !deltas;
+      };
     c_check = !chk;
     c_detail = !detail;
   }
@@ -980,7 +1101,7 @@ type report = {
 let case_engines ~engines id =
   List.filter
     (function
-      | Exact | Lifted | Approx | Batch -> true
+      | Exact | Lifted | Approx | Batch | Delta -> true
       | Anytime -> id mod 2 = 0
       | Mc -> id mod 3 = 0
       | Robust -> id mod 5 = 0)

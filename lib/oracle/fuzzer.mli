@@ -37,7 +37,7 @@
     corpus file that {!of_lines} reads back — the regression-replay
     format under [test/corpus/]. *)
 
-type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch
+type engine = Exact | Lifted | Approx | Anytime | Mc | Robust | Batch | Delta
 
 val all_engines : engine list
 val engine_to_string : engine -> string
@@ -69,6 +69,9 @@ type case = {
       (** the completing policy ([K_completion]) or the geometric tail
           ([K_open], always [Geometric]) *)
   query : Fo.t;
+  deltas : Delta_eval.delta list;
+      (** a random mutation sequence (checks [mutation.*]); nonempty on
+          [K_ti] cases, replayed from [delta] corpus lines *)
 }
 
 val generate : Oracle_gen.config -> seed:int -> id:int -> case

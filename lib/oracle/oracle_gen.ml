@@ -112,6 +112,66 @@ let bid_table cfg g sch =
        blocks)
 
 (* ------------------------------------------------------------------ *)
+(* Mutation sequences *)
+(* ------------------------------------------------------------------ *)
+
+(* A fact whose arguments lean toward values outside [value_pool], so
+   the sequence exercises the fresh-constant (delta-join) path of the
+   incremental engine, not only weight patches and recompiles. *)
+let fresh_leaning_fact g sch =
+  let rels = Schema.relations sch in
+  let r = List.nth rels (Prng.int g (List.length rels)) in
+  Fact.make r.Schema.rel_name
+    (List.init r.Schema.arity (fun _ ->
+         if Prng.int g 3 = 0 then Value.Int (100 + Prng.int g 50)
+         else random_value g))
+
+let mutations cfg g sch ~table ~len =
+  let tbl = ref table in
+  let push acc d =
+    tbl := Delta_eval.apply_table !tbl d;
+    d :: acc
+  in
+  let random_existing () =
+    match Ti_table.support !tbl with
+    | [] -> random_fact g sch
+    | sup -> List.nth sup (Prng.int g (List.length sup))
+  in
+  let basic () =
+    match Prng.int g 7 with
+    | 0 -> Delta_eval.Insert (random_fact g sch, random_prob cfg g)
+    | 1 -> Delta_eval.Insert (fresh_leaning_fact g sch, random_prob cfg g)
+    | 2 -> Delta_eval.Delete (random_existing ())
+    | 3 -> Delta_eval.Delete (random_fact g sch)
+    | 4 -> Delta_eval.Reweight (random_existing (), random_prob cfg g)
+    | 5 -> Delta_eval.Reweight (random_fact g sch, random_prob cfg g)
+    | _ -> Delta_eval.Reweight (random_existing (), Rational.zero)
+  in
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match Prng.int g 8 with
+      | 6 ->
+        (* A recognized no-op: reweight a present fact to its current
+           marginal (or delete an arbitrary fact twice over). *)
+        let d =
+          match Ti_table.facts !tbl with
+          | [] -> Delta_eval.Delete (random_fact g sch)
+          | fs ->
+            let f, p = List.nth fs (Prng.int g (List.length fs)) in
+            Delta_eval.Reweight (f, p)
+        in
+        go (k - 1) (push acc d)
+      | 7 when k >= 2 ->
+        (* An inverse pair: a delta immediately undone. *)
+        let d = basic () in
+        let inv = Delta_eval.inverse_of !tbl d in
+        go (k - 2) (push (push acc d) inv)
+      | _ -> go (k - 1) (push acc (basic ()))
+  in
+  go len []
+
+(* ------------------------------------------------------------------ *)
 (* Open-world policies *)
 (* ------------------------------------------------------------------ *)
 

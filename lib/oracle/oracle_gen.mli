@@ -44,6 +44,22 @@ val bid_blocks :
 
 val bid_table : config -> Prng.t -> Schema.t -> Bid_table.t
 
+val mutations :
+  config ->
+  Prng.t ->
+  Schema.t ->
+  table:Ti_table.t ->
+  len:int ->
+  Delta_eval.delta list
+(** A seed-pure random update sequence of length [len] against [table]:
+    inserts (biased toward occasionally-fresh constants, so the
+    incremental engine's delta-join path fires), deletes of present and
+    absent facts, reweights including to zero, recognized no-ops
+    (reweight to the current marginal), and inverse pairs (a delta
+    immediately followed by the delta that undoes it).  Deltas later in
+    the sequence are drawn against the table state produced by the
+    earlier ones. *)
+
 type policy =
   | Lambda of Rational.t * int
       (** [openpdb_lambda]: [k] fresh facts of probability [p < 1] *)

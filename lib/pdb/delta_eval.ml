@@ -1,0 +1,593 @@
+module VSet = Set.Make (Value)
+module ISet = Set.Make (Int)
+
+type delta =
+  | Insert of Fact.t * Rational.t
+  | Delete of Fact.t
+  | Reweight of Fact.t * Rational.t
+
+let delta_fact = function Insert (f, _) | Delete f | Reweight (f, _) -> f
+
+let delta_target = function
+  | Insert (_, p) | Reweight (_, p) -> p
+  | Delete _ -> Rational.zero
+
+let delta_to_string = function
+  | Insert (f, p) ->
+    Printf.sprintf "insert %s %s" (Fact.to_string f) (Rational.to_string p)
+  | Delete f -> Printf.sprintf "delete %s" (Fact.to_string f)
+  | Reweight (f, p) ->
+    Printf.sprintf "reweight %s %s" (Fact.to_string f) (Rational.to_string p)
+
+let delta_of_string s =
+  let s = String.trim s in
+  let fail () = invalid_arg ("Delta_eval.delta_of_string: " ^ s) in
+  match String.index_opt s ' ' with
+  | None -> fail ()
+  | Some i ->
+    let op = String.sub s 0 i in
+    let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    (* The probability is the last space-separated token; the fact text
+       (which itself contains ", " between arguments) is everything
+       before it. *)
+    let fact_and_prob () =
+      match String.rindex_opt rest ' ' with
+      | None -> fail ()
+      | Some j ->
+        let fs = String.trim (String.sub rest 0 j) in
+        let ps = String.sub rest (j + 1) (String.length rest - j - 1) in
+        (Fact.of_string fs, Rational.of_string ps)
+    in
+    (match op with
+    | "insert" ->
+      let f, p = fact_and_prob () in
+      Insert (f, p)
+    | "delete" -> Delete (Fact.of_string rest)
+    | "reweight" ->
+      let f, p = fact_and_prob () in
+      Reweight (f, p)
+    | _ -> fail ())
+
+let check_target d =
+  let p = delta_target d in
+  try Prob.check_probability_rational p
+  with Invalid_argument _ ->
+    invalid_arg
+      (Printf.sprintf "Delta_eval: marginal %s outside [0,1] in %s"
+         (Rational.to_string p) (delta_to_string d))
+
+let apply_table tbl d =
+  let f = delta_fact d in
+  let p = check_target d in
+  if Rational.is_zero p then Ti_table.remove tbl f else Ti_table.add tbl f p
+
+let inverse_of tbl d =
+  let f = delta_fact d in
+  let w = Ti_table.prob tbl f in
+  if Rational.is_zero w then Delete f else Reweight (f, w)
+
+type apply_kind = Noop | Patched | Extended | Recompiled
+
+let apply_kind_to_string = function
+  | Noop -> "noop"
+  | Patched -> "patched"
+  | Extended -> "extended"
+  | Recompiled -> "recompiled"
+
+let c_noop = Stats.counter "delta.apply.noop"
+let c_patched = Stats.counter "delta.apply.patched"
+let c_extended = Stats.counter "delta.apply.extended"
+let c_recompiled = Stats.counter "delta.apply.recompiled"
+let c_folds = Stats.counter "delta.wmc.folds"
+let c_fold_nodes = Stats.counter "delta.wmc.nodes_recomputed"
+
+(* -------------------- shape analysis --------------------
+
+   Same quantifier-chain analysis as the anytime session: a sentence
+   [Q x1 ... xk. matrix] with a quantifier-free matrix and distinct
+   bound names can absorb a fact with a fresh constant by joining the
+   lineage of only the fresh ground instances onto the root. *)
+
+type chain_kind = Ch_exists | Ch_forall
+
+type shape =
+  | Chain of chain_kind * string list * Fo.t
+  | Opaque
+
+let shape_of phi =
+  let rec strip kind acc = function
+    | Fo.Exists (x, f) when kind = Ch_exists -> strip kind (x :: acc) f
+    | Fo.Forall (x, f) when kind = Ch_forall -> strip kind (x :: acc) f
+    | f -> (List.rev acc, f)
+  in
+  let chain kind =
+    let xs, matrix = strip kind [] phi in
+    if
+      Fo.is_quantifier_free matrix
+      && List.length xs = List.length (List.sort_uniq String.compare xs)
+    then Chain (kind, xs, matrix)
+    else Opaque
+  in
+  match phi with
+  | Fo.Exists _ -> chain Ch_exists
+  | Fo.Forall _ -> chain Ch_forall
+  | _ -> if Fo.is_quantifier_free phi then Chain (Ch_exists, [], phi) else Opaque
+
+(* Inert padding values under a name no dataset uses; collisions with
+   incoming facts are still detected and resolved by re-choosing (the
+   namespace differs from Anytime's so stacked sessions never share
+   padding identities). *)
+let rec choose_padding ~avoid ~attempt k =
+  let cand =
+    List.init k (fun i ->
+        Value.Str (Printf.sprintf "\x01delta.pad.%d.%d" attempt i))
+  in
+  if List.exists (fun v -> VSet.mem v avoid) cand then
+    choose_padding ~avoid ~attempt:(attempt + 1) k
+  else (VSet.of_list cand, attempt)
+
+let fact_args f = Fact.args f
+
+(* All k-tuples over [dom] using at least one value outside [old_dom] —
+   the ground instances the previous diagram could not mention. *)
+let fresh_tuples k dom old_dom =
+  let rec go k =
+    if k = 0 then Seq.return ([], false)
+    else
+      Seq.concat_map
+        (fun (rest, has_fresh) ->
+          Seq.map
+            (fun v -> (v :: rest, has_fresh || not (VSet.mem v old_dom)))
+            (List.to_seq dom))
+        (go (k - 1))
+  in
+  Seq.filter_map
+    (fun (vals, has_fresh) -> if has_fresh then Some vals else None)
+    (go k)
+
+let adom_union acc facts =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left (fun acc v -> VSet.add v acc) acc (fact_args f))
+    acc facts
+
+(* -------------------- TI sessions -------------------- *)
+
+module Make (C : Prob.CARRIER) = struct
+  type t = {
+    phi : Fo.t;
+    shape : shape;
+    cmp_free : bool;
+    pad_count : int;
+    tail : float;
+    mgr : Bdd.manager;
+    memo : C.t Bdd.prob_memo;
+    gc_ran : bool ref;  (* set by the manager's on_free hook *)
+    mutable tbl : Ti_table.t;
+    mutable afacts_rev : Fact.t list;  (* alphabet facts, newest first *)
+    mutable alpha : Lineage.alphabet;
+    mutable weights : C.t array;  (* variable -> current marginal *)
+    mutable adom : VSet.t;  (* constants ∪ values ever seen (grow-only) *)
+    mutable padding : VSet.t;
+    mutable pad_attempt : int;
+    mutable bdd : Bdd.t;  (* the session root, always protected *)
+    mutable dirty : ISet.t;  (* weight-patched vars since last fold *)
+    mutable memo_valid : bool;  (* false after a variable rebind *)
+    mutable cached : C.t option;
+    mutable epoch : int;
+  }
+
+  let weight_of p = C.of_rational p
+
+  let compile_full t =
+    Bdd.of_expr t.mgr
+      (Lineage.of_sentence ~extra:(VSet.elements t.padding) t.alpha t.phi)
+
+  let rebuild_weights t =
+    t.weights <-
+      Array.init (Lineage.alphabet_size t.alpha) (fun v ->
+          weight_of (Ti_table.prob t.tbl (Lineage.fact_of_var t.alpha v)))
+
+  (* Publish a new root: protect-then-release keeps a GC between the two
+     from sweeping the incoming diagram. *)
+  let set_root t bdd =
+    if not (Bdd.equal bdd t.bdd) then begin
+      Bdd.protect bdd;
+      Bdd.release t.bdd;
+      t.bdd <- bdd
+    end;
+    ignore (Bdd.maybe_gc t.mgr)
+
+  let create ?(tail = 0.0) ?cache_size ?(gc_threshold = 1 lsl 16) tbl phi =
+    if Fo.free_vars phi <> [] then
+      invalid_arg "Delta_eval: query must be a sentence";
+    if not (tail >= 0.0 && tail < 1.0) then
+      invalid_arg "Delta_eval: tail must lie in [0, 1)";
+    let gc_ran = ref false in
+    (* Newest-first order: later inserts sit closer to the root, so
+       delta-joins extend the diagram at the top and weight patches on
+       recent facts dirty only a shallow slice. *)
+    let mgr =
+      Bdd.manager
+        ~order:(fun v -> -v)
+        ~on_free:(fun n -> if n > 0 then gc_ran := true)
+        ?cache_size ~gc_threshold ()
+    in
+    let cmp_free = not (Fo.has_cmp phi) in
+    let facts = Ti_table.support tbl in
+    let adom = adom_union (VSet.of_list (Fo.constants phi)) facts in
+    let pad_count = if cmp_free then Fo.quantifier_rank phi else 0 in
+    let padding, pad_attempt =
+      if pad_count = 0 then (VSet.empty, 0)
+      else choose_padding ~avoid:adom ~attempt:0 pad_count
+    in
+    let t =
+      {
+        phi;
+        shape = shape_of phi;
+        cmp_free;
+        pad_count;
+        tail;
+        mgr;
+        memo = Bdd.prob_memo ();
+        gc_ran;
+        tbl;
+        afacts_rev = List.rev facts;
+        alpha = Lineage.alphabet facts;
+        weights = [||];
+        adom;
+        padding;
+        pad_attempt;
+        bdd = Bdd.fls mgr;
+        dirty = ISet.empty;
+        memo_valid = true;
+        cached = None;
+        epoch = 0;
+      }
+    in
+    rebuild_weights t;
+    let bdd = compile_full t in
+    Bdd.protect bdd;
+    t.bdd <- bdd;
+    t
+
+  let query t = t.phi
+  let table t = t.tbl
+  let tail t = t.tail
+  let epoch t = t.epoch
+  let padding t = VSet.elements t.padding
+  let inverse t d = inverse_of t.tbl d
+  let live_nodes t = Bdd.node_count t.mgr
+  let diagram_size t = Bdd.size t.bdd
+
+  let patch t v target =
+    t.weights.(v) <- weight_of target;
+    t.dirty <- ISet.add v t.dirty;
+    Stats.incr c_patched;
+    Patched
+
+  let recompile t =
+    (* Surviving node indices keep their memoized counts (weights of
+       existing variables are untouched on this path); a GC triggered by
+       the compilation itself is caught by [gc_ran] at the next fold. *)
+    set_root t (compile_full t);
+    Stats.incr c_recompiled;
+    Recompiled
+
+  let delta_join t kind xs matrix old_dom =
+    let k = List.length xs in
+    let dom_list = VSet.elements (VSet.union t.adom t.padding) in
+    let join =
+      match kind with Ch_exists -> Bdd.disj | Ch_forall -> Bdd.conj
+    in
+    (* Every [of_expr] is a GC safe point, so the running accumulator is
+       pinned join by join; the session root on [t.bdd] stays protected
+       until the publish. *)
+    let bdd =
+      let acc = ref t.bdd in
+      Bdd.protect !acc;
+      Fun.protect
+        ~finally:(fun () -> Bdd.release !acc)
+        (fun () ->
+          Seq.iter
+            (fun vals ->
+              let lin =
+                Lineage.of_formula t.alpha (List.combine xs vals) matrix
+              in
+              let d = Bdd.of_expr t.mgr lin in
+              let joined = join t.mgr !acc d in
+              Bdd.protect joined;
+              Bdd.release !acc;
+              acc := joined)
+            (fresh_tuples k dom_list old_dom);
+          !acc)
+    in
+    set_root t bdd;
+    Stats.incr c_extended;
+    Extended
+
+  (* A fact outside the alphabet, being set to a positive marginal. *)
+  let absorb_new_atom t f =
+    let args = fact_args f in
+    let touches_padding = List.exists (fun v -> VSet.mem v t.padding) args in
+    let fresh = List.exists (fun v -> not (VSet.mem v t.adom)) args in
+    let old_dom = VSet.union t.adom t.padding in
+    t.afacts_rev <- f :: t.afacts_rev;
+    t.alpha <- Lineage.alphabet (List.rev t.afacts_rev);
+    t.adom <- adom_union t.adom [ f ];
+    let v =
+      match Lineage.var_of_fact t.alpha f with
+      | Some v -> v
+      | None -> assert false
+    in
+    t.weights <- Array.append t.weights [| C.zero |];
+    t.weights.(v) <- weight_of (Ti_table.prob t.tbl f);
+    if touches_padding then begin
+      (* The fact turns a padding value live: re-choose and recompile. *)
+      let padding, attempt =
+        choose_padding ~avoid:t.adom ~attempt:(t.pad_attempt + 1) t.pad_count
+      in
+      t.padding <- padding;
+      t.pad_attempt <- attempt;
+      recompile t
+    end
+    else if not fresh then
+      (* All its values were already in the domain, so the old diagram
+         compiled this ground atom to False: only a recompile (in the
+         warm manager) can revive it. *)
+      recompile t
+    else
+      match t.shape with
+      | Chain (kind, xs, matrix) -> delta_join t kind xs matrix old_dom
+      | Opaque -> recompile t
+
+  (* Comparison queries carry no padding and an exact active domain: any
+     support change rebinds the alphabet and recompiles. *)
+  let rebuild_exact t =
+    let facts = Ti_table.support t.tbl in
+    t.afacts_rev <- List.rev facts;
+    t.alpha <- Lineage.alphabet facts;
+    t.adom <- adom_union (VSet.of_list (Fo.constants t.phi)) facts;
+    rebuild_weights t;
+    t.memo_valid <- false;
+    t.dirty <- ISet.empty;
+    recompile t
+
+  let apply t d =
+    let f = delta_fact d in
+    let target = check_target d in
+    let before = Ti_table.prob t.tbl f in
+    if Rational.equal before target then begin
+      Stats.incr c_noop;
+      Noop
+    end
+    else begin
+      t.tbl <-
+        (if Rational.is_zero target then Ti_table.remove t.tbl f
+         else Ti_table.add t.tbl f target);
+      t.epoch <- t.epoch + 1;
+      t.cached <- None;
+      if t.cmp_free then
+        match Lineage.var_of_fact t.alpha f with
+        | Some v -> patch t v target
+        | None ->
+          (* [before = 0 <> target] here, so this is a genuine insert. *)
+          absorb_new_atom t f
+      else if
+        (not (Rational.is_zero before)) && not (Rational.is_zero target)
+      then
+        match Lineage.var_of_fact t.alpha f with
+        | Some v -> patch t v target
+        | None -> assert false (* present fact, exact alphabet *)
+      else rebuild_exact t
+    end
+
+  let prob t =
+    match t.cached with
+    | Some p -> p
+    | None ->
+      Stats.incr c_folds;
+      let full = (not t.memo_valid) || !(t.gc_ran) in
+      if full then Bdd.prob_memo_clear t.memo;
+      let dirty =
+        if full then fun _ -> true else fun v -> ISet.mem v t.dirty
+      in
+      let recomputed = ref 0 in
+      let p =
+        Bdd.fold_prob_memo ~memo:t.memo ~dirty ~zero:C.zero ~one:C.one
+          ~node:(fun v lo hi ->
+            incr recomputed;
+            let w = t.weights.(v) in
+            C.add (C.mul w hi) (C.mul (C.compl w) lo))
+          t.bdd
+      in
+      Stats.add c_fold_nodes !recomputed;
+      t.dirty <- ISet.empty;
+      t.memo_valid <- true;
+      t.gc_ran := false;
+      t.cached <- Some p;
+      p
+end
+
+module Exact = Make (Prob.Rational_carrier)
+module Fast = Make (Prob.Float_carrier)
+module Certified = Make (Prob.Interval_carrier)
+
+(* -------------------- BID sessions -------------------- *)
+
+module Bid = struct
+  type bdelta =
+    | B_set of string * Fact.t * Rational.t
+    | B_remove of Fact.t
+
+  type t = {
+    phi : Fo.t;
+    cmp_free : bool;
+    pad_count : int;
+    tail : float;
+    mutable tbl : Bid_table.t;
+    mutable adom : VSet.t;  (* grow-only for cmp-free queries *)
+    mutable padding : VSet.t;
+    mutable pad_attempt : int;
+    mutable cached : Rational.t option;
+    mutable epoch : int;
+  }
+
+  let create ?(tail = 0.0) tbl phi =
+    if Fo.free_vars phi <> [] then
+      invalid_arg "Delta_eval.Bid: query must be a sentence";
+    if not (tail >= 0.0 && tail < 1.0) then
+      invalid_arg "Delta_eval.Bid: tail must lie in [0, 1)";
+    let cmp_free = not (Fo.has_cmp phi) in
+    let adom =
+      adom_union (VSet.of_list (Fo.constants phi)) (Bid_table.support tbl)
+    in
+    let pad_count = if cmp_free then Fo.quantifier_rank phi else 0 in
+    let padding, pad_attempt =
+      if pad_count = 0 then (VSet.empty, 0)
+      else choose_padding ~avoid:adom ~attempt:0 pad_count
+    in
+    {
+      phi;
+      cmp_free;
+      pad_count;
+      tail;
+      tbl;
+      adom;
+      padding;
+      pad_attempt;
+      cached = None;
+      epoch = 0;
+    }
+
+  let query t = t.phi
+  let table t = t.tbl
+  let tail t = t.tail
+  let epoch t = t.epoch
+  let padding t = VSet.elements t.padding
+
+  (* Rebuild the block list with [fact]'s marginal set to [p] inside
+     [block]; [None] rejections carry the reason. *)
+  let edited_blocks t block fact p =
+    match Bid_table.block_of_fact t.tbl fact with
+    | Some b when b <> block ->
+      Error
+        (Printf.sprintf "fact %s already belongs to block %s"
+           (Fact.to_string fact) b)
+    | home -> (
+      let blocks = Bid_table.blocks t.tbl in
+      let present = home <> None in
+      let edit (bl : Bid_table.block) =
+        if bl.Bid_table.block_id <> block then bl
+        else
+          let alts =
+            List.filter
+              (fun (f, _) -> not (Fact.equal f fact))
+              bl.Bid_table.alternatives
+          in
+          let alts =
+            if Rational.is_zero p then alts else alts @ [ (fact, p) ]
+          in
+          { bl with Bid_table.alternatives = alts }
+      in
+      let blocks =
+        if present || List.exists (fun b -> b.Bid_table.block_id = block) blocks
+        then List.map edit blocks
+        else if Rational.is_zero p then blocks
+        else blocks @ [ { Bid_table.block_id = block; alternatives = [ (fact, p) ] } ]
+      in
+      let blocks =
+        List.filter (fun b -> b.Bid_table.alternatives <> []) blocks
+      in
+      let mass bl =
+        Rational.sum (List.map snd bl.Bid_table.alternatives)
+      in
+      match
+        List.find_opt
+          (fun bl -> Rational.compare (mass bl) Rational.one > 0)
+          blocks
+      with
+      | Some bl ->
+        Error
+          (Printf.sprintf "block %s mass %s would exceed 1"
+             bl.Bid_table.block_id
+             (Rational.to_string (mass bl)))
+      | None -> (
+        match Bid_table.create blocks with
+        | tbl -> Ok tbl
+        | exception Invalid_argument msg -> Error msg))
+
+  let commit t tbl =
+    t.tbl <- tbl;
+    t.epoch <- t.epoch + 1;
+    t.cached <- None;
+    if t.cmp_free then begin
+      t.adom <- adom_union t.adom (Bid_table.support tbl);
+      if not (VSet.is_empty (VSet.inter t.adom t.padding)) then begin
+        let padding, attempt =
+          choose_padding ~avoid:t.adom ~attempt:(t.pad_attempt + 1)
+            t.pad_count
+        in
+        t.padding <- padding;
+        t.pad_attempt <- attempt
+      end
+    end
+    else
+      t.adom <-
+        adom_union
+          (VSet.of_list (Fo.constants t.phi))
+          (Bid_table.support tbl)
+
+  let apply t d =
+    match d with
+    | B_set (block, fact, p) ->
+      if not (Rational.is_probability p) then
+        Error
+          (Printf.sprintf "marginal %s outside [0,1]" (Rational.to_string p))
+      else if Rational.equal (Bid_table.prob t.tbl fact) p then Ok ()
+      else (
+        match edited_blocks t block fact p with
+        | Ok tbl ->
+          commit t tbl;
+          Ok ()
+        | Error _ as e -> e)
+    | B_remove fact -> (
+      match Bid_table.block_of_fact t.tbl fact with
+      | None -> Ok ()
+      | Some block -> (
+        match edited_blocks t block fact Rational.zero with
+        | Ok tbl ->
+          commit t tbl;
+          Ok ()
+        | Error _ as e -> e))
+
+  let prob t =
+    match t.cached with
+    | Some p -> p
+    | None ->
+      let domain =
+        if t.cmp_free then VSet.elements (VSet.union t.adom t.padding)
+        else
+          Fo_eval.evaluation_domain
+            (Instance.of_list (Bid_table.support t.tbl))
+            t.phi []
+      in
+      let p =
+        Seq.fold_left
+          (fun acc (inst, w) ->
+            let extra =
+              List.filter
+                (fun v ->
+                  not
+                    (List.exists (Value.equal v)
+                       (Instance.active_domain inst)))
+                domain
+            in
+            if Fo_eval.models ~extra_domain:extra inst t.phi then
+              Rational.add acc w
+            else acc)
+          Rational.zero (Bid_table.worlds t.tbl)
+      in
+      t.cached <- Some p;
+      p
+end

@@ -1,0 +1,166 @@
+(** Incremental query evaluation under streaming updates.
+
+    A delta session holds a query's compiled lineage (a live BDD) over a
+    finite TI table and keeps the probability current while the table
+    mutates under {e set-the-marginal} deltas: [insert], [delete] and
+    [reweight] all reduce to "set the marginal of fact [f] to [p]"
+    (with [p = 0] for deletion), which makes every delta invertible and
+    lets most of them patch the diagram in place instead of recompiling.
+
+    {b Patching discipline.}  The fact alphabet is grow-only for
+    comparison-free queries: a deleted fact keeps its BDD variable at
+    weight zero, so delete / reweight / re-insert of a known fact is a
+    pure weight patch — no lineage work at all.  The weighted model
+    count is then re-derived through {!Bdd.fold_prob_memo}, which only
+    re-runs the carrier arithmetic on the slice of the DAG that can see
+    a changed variable.  A genuinely new atom extends the diagram: by a
+    delta-join at the root when the query is a quantifier chain and the
+    fact brings a fresh constant (the {!Anytime} device), and by a
+    recompilation in the shared warm manager otherwise.
+
+    {b Domain semantics.}  For comparison-free queries the evaluation
+    domain is also grow-only — values of deleted facts stay as inert
+    domain elements, padded with [quantifier_rank phi] fresh inert
+    values.  By the r-equivalence argument of Proposition 6.1 this
+    yields exactly the padded from-scratch answer
+    [Query_eval.boolean ~extra_domain:(padding t) (table t) phi] after
+    every delta, which is what the mutation-differential fuzzer checks
+    by exact rational equality.  Queries using order comparisons get no
+    padding and an exact active domain instead (recompiled whenever the
+    support changes), matching unpadded [Query_eval.boolean].
+
+    {b Tail certificate.}  A session created from a truncated countable
+    source carries the truncation's certified tail mass, which deltas
+    on the materialized prefix do not disturb; [Robust_eval] widens the
+    session's count into an enclosure for the open-world answer. *)
+
+type delta =
+  | Insert of Fact.t * Rational.t
+  | Delete of Fact.t
+  | Reweight of Fact.t * Rational.t
+      (** All three set the fact's marginal: [Insert] and [Reweight]
+          are synonyms accepted for intent, [Delete] sets zero.
+          Probability-zero facts do not exist ([Ti_table.create] drops
+          them), so [Insert (f, 0)] is a deletion and reweighting an
+          absent fact is an insertion. *)
+
+val delta_fact : delta -> Fact.t
+
+val delta_target : delta -> Rational.t
+(** The marginal the delta sets (zero for [Delete]). *)
+
+val delta_to_string : delta -> string
+(** One line: [insert R(a, b) 1/2], [delete R(a, b)],
+    [reweight R(a, b) 1/3].  Round-trips with {!delta_of_string}. *)
+
+val delta_of_string : string -> delta
+(** @raise Invalid_argument on malformed input. *)
+
+val apply_table : Ti_table.t -> delta -> Ti_table.t
+(** The pure table semantics of a delta — the from-scratch reference
+    the incremental engine is fuzzed against.
+    @raise Invalid_argument on a marginal outside [\[0,1\]]. *)
+
+val inverse_of : Ti_table.t -> delta -> delta
+(** The delta that restores [tbl]'s current state after applying [d];
+    must be taken {e before} the application. *)
+
+(** How a session absorbed a delta (diagnostics and test assertions). *)
+type apply_kind =
+  | Noop  (** the table already satisfied the delta *)
+  | Patched  (** weight patch on an existing variable *)
+  | Extended  (** delta-join of fresh lineage at the root *)
+  | Recompiled  (** full recompilation in the shared manager *)
+
+val apply_kind_to_string : apply_kind -> string
+
+(** {1 TI delta sessions, generic over the probability carrier} *)
+
+module Make (C : Prob.CARRIER) : sig
+  type t
+
+  val create :
+    ?tail:float ->
+    ?cache_size:int ->
+    ?gc_threshold:int ->
+    Ti_table.t ->
+    Fo.t ->
+    t
+  (** Compile the query's lineage over the table and root-protect it in
+      a private manager (newest-first variable order, so later inserts
+      extend the diagram at the top).  [tail] is the certified tail
+      mass of the truncation this table came from (default [0.], the
+      closed-world reading).
+      @raise Invalid_argument if [phi] has free variables or [tail] is
+      outside [\[0,1)]. *)
+
+  val query : t -> Fo.t
+  val table : t -> Ti_table.t
+  val tail : t -> float
+
+  val epoch : t -> int
+  (** Number of non-no-op deltas absorbed. *)
+
+  val padding : t -> Value.t list
+  (** Current inert padding values (re-derived per delta; empty for
+      comparison queries).  Passing these to
+      [Query_eval.boolean ~extra_domain] reproduces the session's
+      semantics from scratch. *)
+
+  val apply : t -> delta -> apply_kind
+  (** Mutate the table and patch the diagram.
+      @raise Invalid_argument on a marginal outside [\[0,1\]]. *)
+
+  val inverse : t -> delta -> delta
+  (** [inverse_of (table t) d]. *)
+
+  val prob : t -> C.t
+  (** The current [P(phi)] — cached between deltas; after a patch only
+      the dirty WMC slice pays carrier arithmetic. *)
+
+  val live_nodes : t -> int
+  val diagram_size : t -> int
+end
+
+module Exact : module type of Make (Prob.Rational_carrier)
+module Fast : module type of Make (Prob.Float_carrier)
+module Certified : module type of Make (Prob.Interval_carrier)
+
+(** {1 BID delta sessions}
+
+    Block-independent-disjoint tables mutate under the same
+    set-the-marginal deltas, constrained by block exclusivity: a
+    reweight or insert that would push a block's total mass above one
+    is {e rejected} (state unchanged) rather than absorbed, and a fact
+    can never migrate between blocks.  Evaluation is exact by good-world
+    enumeration (the fuzzer/test scale), with the same grow-only padded
+    domain semantics as the TI sessions. *)
+module Bid : sig
+  type bdelta =
+    | B_set of string * Fact.t * Rational.t
+        (** [(block, fact, p)]: insert [fact] into [block] or reweight
+            it there; [p = 0] removes the alternative. *)
+    | B_remove of Fact.t
+
+  type t
+
+  val create : ?tail:float -> Bid_table.t -> Fo.t -> t
+  (** @raise Invalid_argument if [phi] has free variables or [tail] is
+      outside [\[0,1)]. *)
+
+  val query : t -> Fo.t
+  val table : t -> Bid_table.t
+  val tail : t -> float
+  val epoch : t -> int
+  val padding : t -> Value.t list
+
+  val apply : t -> bdelta -> (unit, string) result
+  (** [Error reason] — block mass would exceed one, the fact already
+      belongs to a different block, or the marginal is outside
+      [\[0,1\]] — leaves the session untouched. *)
+
+  val prob : t -> Rational.t
+  (** Exact [P(phi)], cached between deltas.
+      @raise Invalid_argument when the table exceeds the enumeration
+      cap (see {!Bid_table.worlds}). *)
+end

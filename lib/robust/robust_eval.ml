@@ -26,7 +26,7 @@
    construction, so under a [Virtual]-clock budget the whole answer —
    provenance string included — is bit-identical across runs. *)
 
-type engine = Lifted | Exact | Anytime | Monte_carlo | Batched
+type engine = Lifted | Exact | Anytime | Monte_carlo | Batched | Delta
 
 let engine_to_string = function
   | Lifted -> "lifted"
@@ -34,6 +34,7 @@ let engine_to_string = function
   | Anytime -> "anytime"
   | Monte_carlo -> "monte-carlo"
   | Batched -> "batched"
+  | Delta -> "delta"
 
 type outcome =
   | Certified of Interval.t
@@ -380,3 +381,51 @@ let query_batch ?budget ?(eps = 0.01) ?max_bdd_nodes ?max_facts
         })
       phis
   | Error err -> List.mapi (fun i (_ : Fo.t) -> fallback i err) phis
+
+let c_session_queries = Stats.counter "robust.delta.queries"
+
+(* The incremental rung: a live delta session already holds the compiled
+   lineage and a certified interval count, so "running the ladder" is
+   one memoized WMC fold — no compilation, no truncation re-derivation.
+   The session's interval (interval carrier: outward-rounded float
+   arithmetic around the exact rational count) is widened by the
+   session's tail certificate through the same conditional-probability
+   argument the truncation rungs use, so the soundness contract is
+   unchanged: the enclosure contains the true limit probability. *)
+let query_session ?(eps = 0.01) s =
+  if not (eps > 0.0 && eps < 0.5) then
+    invalid_arg "Robust_eval.query_session: eps must lie in (0, 1/2)";
+  Stats.incr c_session_queries;
+  let epoch = Delta_eval.Certified.epoch s in
+  let outcome, enclosure =
+    match
+      Errors.protect ~what:"Robust_eval.query_session" (fun () ->
+          let iv = Interval.clamp01 (Delta_eval.Certified.prob s) in
+          let om =
+            Approx_eval.omega_bounds_of_tail (Delta_eval.Certified.tail s)
+          in
+          Approx_eval.enclosure_interval iv om)
+    with
+    | Ok iv -> (Certified iv, iv)
+    | Error e -> (Failed e, top)
+  in
+  let stopped =
+    match outcome with
+    | Failed _ -> Printf.sprintf "delta session failed at epoch %d" epoch
+    | _ when Interval.width enclosure <= 2.0 *. eps ->
+      Printf.sprintf "delta session converged (epoch %d)" epoch
+    | _ ->
+      (* A wide answer here means the tail certificate dominates — the
+         session's own count is exact up to float rounding. *)
+      Printf.sprintf "delta session answered (epoch %d; tail-limited)" epoch
+  in
+  {
+    enclosure;
+    estimate = Interval.mid enclosure;
+    provenance =
+      {
+        attempts = [ { engine = Delta; tries = 1; outcome } ];
+        stopped;
+        budget = "none (session-resident diagram)";
+      };
+  }

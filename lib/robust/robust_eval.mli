@@ -29,7 +29,7 @@
     provenance are bit-identical across runs and domain counts, including
     under any {!Faulty_source} schedule. *)
 
-type engine = Lifted | Exact | Anytime | Monte_carlo | Batched
+type engine = Lifted | Exact | Anytime | Monte_carlo | Batched | Delta
 
 val engine_to_string : engine -> string
 
@@ -154,3 +154,21 @@ val query_batch :
 
     @raise Invalid_argument on the same caller errors as {!query},
     or [domains < 1]. *)
+
+val query_session : ?eps:float -> Delta_eval.Certified.t -> answer
+(** Answer from a live {!Delta_eval} session instead of running the
+    ladder: the session already holds the compiled lineage, so the
+    answer is one memoized WMC fold over the slice of the diagram the
+    last delta dirtied.  The session's interval count is widened by its
+    certified tail mass through the same conditional-probability
+    argument as the truncation rungs, so {!answer.enclosure} still
+    contains the true limit probability; the provenance carries a
+    single [Delta] attempt.  [eps] (default [0.01]) only labels the
+    stop reason ([converged] versus [tail-limited]) — the enclosure is
+    always the narrowest the session certifies.
+
+    This is the serving layer's streaming-update path: on an update the
+    resident service patches the session and re-answers here, paying
+    only for the changed slice instead of a fresh ladder run.
+
+    @raise Invalid_argument if [eps] lies outside [(0, 1/2)]. *)

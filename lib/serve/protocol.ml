@@ -77,6 +77,7 @@ type request =
       mc_samples : int option;
       seed : int;
     }
+  | Update of { delta : string }
   | Health
   | Stats_req
   | Drain
@@ -91,6 +92,7 @@ type response =
       cached : bool;
       shed : bool;
     }
+  | Update_ok of { relation : string; epoch : int; noop : bool }
   | Overloaded of { retry_after_ms : int; draining : bool }
   | Error_resp of { code : int; msg : string }
   | Health_ok of { draining : bool; inflight : int; uptime_s : float }
@@ -174,6 +176,7 @@ let encode_request = function
            opt string_of_int "mc_samples" mc_samples;
            Some ("seed", string_of_int seed);
          ])
+  | Update { delta } -> render "update" [ ("d", delta) ]
   | Health -> render "health" []
   | Stats_req -> render "stats" []
   | Drain -> render "drain" []
@@ -188,6 +191,9 @@ let decode_request s =
     let* mc_samples = opt_field req_int "mc_samples" fields in
     let* seed = req_int "seed" fields in
     Ok (Query { query; eps; deadline_ms; mc_samples; seed })
+  | "update" ->
+    let* delta = req_str fields "d" in
+    Ok (Update { delta })
   | "health" -> Ok Health
   | "stats" -> Ok Stats_req
   | "drain" -> Ok Drain
@@ -204,6 +210,13 @@ let encode_response = function
         ("budget_exhausted", b_to_s budget_exhausted);
         ("cached", b_to_s cached);
         ("shed", b_to_s shed);
+      ]
+  | Update_ok { relation; epoch; noop } ->
+    render "update_ok"
+      [
+        ("relation", relation);
+        ("epoch", string_of_int epoch);
+        ("noop", b_to_s noop);
       ]
   | Overloaded { retry_after_ms; draining } ->
     render "overloaded"
@@ -236,6 +249,11 @@ let decode_response s =
     let* cached = req_bool "cached" fields in
     let* shed = req_bool "shed" fields in
     Ok (Answer { lo; hi; estimate; provenance; budget_exhausted; cached; shed })
+  | "update_ok" ->
+    let* relation = req_str fields "relation" in
+    let* epoch = req_int "epoch" fields in
+    let* noop = req_bool "noop" fields in
+    Ok (Update_ok { relation; epoch; noop })
   | "overloaded" ->
     let* retry_after_ms = req_int "retry_after_ms" fields in
     let* draining = req_bool "draining" fields in

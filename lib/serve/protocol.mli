@@ -45,6 +45,11 @@ type request =
       mc_samples : int option;  (** Monte-Carlo worlds; server default *)
       seed : int;  (** evaluation seed (reproducibility) *)
     }
+  | Update of { delta : string }
+      (** streaming update against the server's materialized table, in
+          {!Delta_eval.delta_to_string} syntax (e.g. ["insert R(a) 1/2"],
+          ["delete R(a)"]); accepted only by servers started on a finite
+          updatable table, rejected while draining *)
   | Health  (** liveness probe; answered even while draining *)
   | Stats_req  (** server counters and latency quantiles *)
   | Drain
@@ -62,6 +67,13 @@ type response =
               the enclosure is the best-so-far sound result *)
       cached : bool;  (** served from the result cache *)
       shed : bool;  (** evaluated on the degraded (shed) ladder *)
+    }
+  | Update_ok of {
+      relation : string;  (** the relation the delta mutated *)
+      epoch : int;  (** that relation's epoch counter after the delta *)
+      noop : bool;
+          (** the table already satisfied the delta; no epoch bump, so
+              cached answers over the relation keep serving *)
     }
   | Overloaded of {
       retry_after_ms : int;  (** suggested client backoff *)

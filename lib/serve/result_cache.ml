@@ -1,13 +1,24 @@
-(* Bounded FIFO cache of certified answers, keyed by (query, policy),
-   reused epsilon-aware: an entry serves any request whose error target
-   its enclosure already meets.
+(* Bounded FIFO cache of certified answers, keyed by
+   (query, policy, epoch), reused epsilon-aware: an entry serves any
+   request whose error target its enclosure already meets.
+
+   The epoch component is the serving layer's table-content identity for
+   the relations the query touches ("" at boot, "R=3;S=1" after
+   updates): without it two textually equal queries before and after a
+   streaming update would collide on one key and a stale certified
+   enclosure could be served against a table that no longer certifies
+   it.  Entries for relations an update did not touch keep their epoch
+   component and so survive the update untouched.
 
    The warm-restart path serialises the whole cache to a small text file
    tagged with a caller-supplied validator string (the store checksum
    plus the completion-policy spec).  [load] is all-or-nothing: a
    validator mismatch, version skew, or any malformed entry rejects the
    entire file — a stale or torn cache must never leak an enclosure that
-   the current table does not certify. *)
+   the current table does not certify.  Only base-epoch ("") entries are
+   restored: epoch counters restart at zero on reboot, so a saved
+   post-update epoch string would collide with a different table
+   state. *)
 
 let c_hit = Stats.counter "serve.cache.hit"
 let c_miss = Stats.counter "serve.cache.miss"
@@ -17,7 +28,7 @@ let c_warm_loaded = Stats.counter "serve.cache.warm.loaded"
 let c_warm_reused = Stats.counter "serve.cache.warm.reused"
 let c_warm_rejected = Stats.counter "serve.cache.warm.rejected"
 
-type key = string * string
+type key = string * string * string
 type entry = { answer : Robust_eval.answer; warm : bool }
 
 type t = {
@@ -40,9 +51,9 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let find t ~query ~policy ~eps =
+let find t ~query ~policy ~epoch ~eps =
   locked t (fun () ->
-      match Hashtbl.find_opt t.entries (query, policy) with
+      match Hashtbl.find_opt t.entries (query, policy, epoch) with
       | Some e when Interval.width e.answer.Robust_eval.enclosure <= 2.0 *. eps
         ->
         Stats.incr c_hit;
@@ -69,10 +80,10 @@ let insert_unlocked t key entry =
     Hashtbl.replace t.entries key entry;
     Queue.push key t.order
 
-let store t ~query ~policy answer =
+let store t ~query ~policy ~epoch answer =
   if t.capacity > 0 then
     locked t (fun () ->
-        insert_unlocked t (query, policy) { answer; warm = false })
+        insert_unlocked t (query, policy, epoch) { answer; warm = false })
 
 let length t = locked t (fun () -> Hashtbl.length t.entries)
 
@@ -80,7 +91,7 @@ let length t = locked t (fun () -> Hashtbl.length t.entries)
 (* Warm-restart persistence *)
 (* ------------------------------------------------------------------ *)
 
-let file_header = "iowpdb-cache 1"
+let file_header = "iowpdb-cache 2"
 
 let save t ~path ~validator =
   let entries =
@@ -102,8 +113,8 @@ let save t ~path ~validator =
       Printf.fprintf oc "%s\n" file_header;
       Printf.fprintf oc "validator %S\n" validator;
       List.iter
-        (fun ((query, policy), (a : Robust_eval.answer)) ->
-          Printf.fprintf oc "entry %S %S %h %h %h\n" query policy
+        (fun ((query, policy, epoch), (a : Robust_eval.answer)) ->
+          Printf.fprintf oc "entry %S %S %S %h %h %h\n" query policy epoch
             (Interval.lo a.enclosure) (Interval.hi a.enclosure) a.estimate)
         entries);
   Sys.rename tmp path;
@@ -124,14 +135,14 @@ let restored_answer ~lo ~hi ~estimate : Robust_eval.answer =
   }
 
 let parse_entry line =
-  Scanf.sscanf line "entry %S %S %h %h %h"
-    (fun query policy lo hi estimate ->
+  Scanf.sscanf line "entry %S %S %S %h %h %h"
+    (fun query policy epoch lo hi estimate ->
       if
         not
           (Float.is_finite lo && Float.is_finite hi && Float.is_finite estimate
          && 0.0 <= lo && lo <= hi && hi <= 1.0)
       then failwith "entry out of range";
-      ((query, policy), restored_answer ~lo ~hi ~estimate))
+      ((query, policy, epoch), restored_answer ~lo ~hi ~estimate))
 
 let load t ~path ~validator =
   if not (Sys.file_exists path) then 0
@@ -160,6 +171,13 @@ let load t ~path ~validator =
     | entries ->
       if t.capacity = 0 then 0
       else begin
+        (* Epoch counters restart at zero on reboot, so only base-epoch
+           entries — answers certified against the table as loaded —
+           may be revived; post-update epochs would alias fresh
+           counters over a different table state. *)
+        let entries =
+          List.filter (fun ((_, _, epoch), _) -> epoch = "") entries
+        in
         locked t (fun () ->
             List.iter
               (fun (key, answer) ->

@@ -1,9 +1,14 @@
 (** Bounded, epsilon-aware cache of certified answers.
 
-    Keys are [(query, policy)] — a server instance evaluates every query
-    against one table and one truncation discipline, and the policy
-    string pins the open-world completion, so two textually equal
-    queries under the same policy have the same true probability.
+    Keys are [(query, policy, epoch)].  A server instance evaluates
+    every query against one truncation discipline, and the policy
+    string pins the open-world completion; the {e epoch} string is the
+    content identity of the table slice the query reads — [""] at boot,
+    and e.g. ["R=3;S=1"] once streaming updates have mutated relations
+    [R] and [S] (see {!Server}).  Folding the epoch into the key is
+    what makes cached enclosures sound under updates: two textually
+    equal queries before and after a mutation get distinct keys, while
+    entries whose relations an update did not touch keep serving.
 
     Reuse is {e epsilon-aware} rather than epsilon-keyed: a stored
     answer satisfies a request for error target [eps] iff its certified
@@ -25,11 +30,22 @@ val create : capacity:int -> t
     @raise Invalid_argument on a negative capacity. *)
 
 val find :
-  t -> query:string -> policy:string -> eps:float -> Robust_eval.answer option
+  t ->
+  query:string ->
+  policy:string ->
+  epoch:string ->
+  eps:float ->
+  Robust_eval.answer option
 (** A stored answer whose enclosure width is at most [2 * eps], if any.
     Bumps [serve.cache.hit] / [serve.cache.miss]. *)
 
-val store : t -> query:string -> policy:string -> Robust_eval.answer -> unit
+val store :
+  t ->
+  query:string ->
+  policy:string ->
+  epoch:string ->
+  Robust_eval.answer ->
+  unit
 (** Insert or replace (replacement keeps the narrower enclosure).
     Evicts the oldest entry when full; bumps [serve.cache.evict]. *)
 
@@ -51,6 +67,9 @@ val load : t -> path:string -> validator:string -> int
 (** Restore entries saved by {!save}.  All-or-nothing: a missing file
     restores 0 silently; a version or validator mismatch, or any
     malformed entry, rejects the whole file, bumps
-    [serve.cache.warm.rejected], and restores 0.  Restored entries count
+    [serve.cache.warm.rejected], and restores 0.  Only base-epoch
+    ([""]) entries are revived — per-relation epoch counters restart at
+    zero on reboot, so a saved post-update epoch string no longer names
+    the table state it certified.  Restored entries count
     into [serve.cache.warm.loaded]; when one later satisfies a {!find},
     [serve.cache.warm.reused] is bumped alongside the ordinary hit. *)

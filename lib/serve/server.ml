@@ -17,6 +17,8 @@
 
 let c_conns = Stats.counter "serve.connections"
 let c_requests = Stats.counter "serve.requests"
+let c_updates = Stats.counter "serve.updates"
+let c_update_noops = Stats.counter "serve.updates.noop"
 let c_answers = Stats.counter "serve.responses.answer"
 let c_overloaded = Stats.counter "serve.responses.overloaded"
 let c_errors = Stats.counter "serve.responses.error"
@@ -44,6 +46,10 @@ type config = {
   warm_cache : (string * string) option;
       (* (path, validator): persist the result cache here at drain and
          restore from it at start when the validator matches. *)
+  updatable : Ti_table.t option;
+      (* a finite materialized table the server owns and mutates under
+         Update frames; when set it overrides [make_source].  [None]
+         (static or open-world source) rejects updates. *)
 }
 
 let default_config make_source endpoint =
@@ -59,6 +65,7 @@ let default_config make_source endpoint =
     default_deadline_s = Some 1.0;
     cache_capacity = 256;
     warm_cache = None;
+    updatable = None;
   }
 
 type mailbox = {
@@ -81,6 +88,13 @@ type t = {
   cfg : config;
   admission : Admission.t;
   cache : Result_cache.t;
+  tbl_lock : Mutex.t;
+  mutable table : Ti_table.t option;
+      (* current state of [cfg.updatable]; Ti_table is persistent, so a
+         snapshot taken under [tbl_lock] stays valid while later
+         updates swap in new tables *)
+  epochs : (string, int) Hashtbl.t;
+      (* per-relation update counters, guarded by [tbl_lock] *)
   queue : item Queue.t;
   q_lock : Mutex.t;
   q_cond : Condition.t;
@@ -140,10 +154,53 @@ let stop_workers t =
   Mutex.unlock t.q_lock
 
 (* ------------------------------------------------------------------ *)
+(* Table epochs *)
+(* ------------------------------------------------------------------ *)
+
+(* Caller holds [tbl_lock].  The epoch string of the table slice [phi]
+   reads: relation counters in name order, zeros omitted, so the boot
+   state is "" for every query — which is also the only epoch the warm
+   cache restores. *)
+let epoch_unlocked t phi =
+  let rels =
+    List.sort_uniq String.compare (List.map fst (Fo.relations phi))
+  in
+  String.concat ";"
+    (List.filter_map
+       (fun r ->
+         match Hashtbl.find_opt t.epochs r with
+         | Some n when n > 0 -> Some (Printf.sprintf "%s=%d" r n)
+         | _ -> None)
+       rels)
+
+let epoch_of t phi =
+  match t.cfg.updatable with
+  | None -> ""
+  | Some _ ->
+    Mutex.lock t.tbl_lock;
+    let e = epoch_unlocked t phi in
+    Mutex.unlock t.tbl_lock;
+    e
+
+(* The source a request evaluates against, together with the epoch its
+   answer certifies — taken under one lock hold, so an update racing
+   the evaluation can never let an answer be cached under an epoch it
+   does not certify. *)
+let snapshot_source t phi =
+  Mutex.lock t.tbl_lock;
+  let r =
+    match t.table with
+    | None -> None
+    | Some tbl -> Some (Fact_source.of_ti_table tbl, epoch_unlocked t phi)
+  in
+  Mutex.unlock t.tbl_lock;
+  match r with None -> (t.cfg.make_source (), "") | Some r -> r
+
+(* ------------------------------------------------------------------ *)
 (* Worker domains *)
 (* ------------------------------------------------------------------ *)
 
-let answer_of t item (a : Robust_eval.answer) ~shed ~cached =
+let answer_of t item (a : Robust_eval.answer) ~shed ~cached ~epoch =
   let budget_exhausted =
     Budget.exhausted item.i_ticket.Admission.budget <> None
   in
@@ -153,8 +210,8 @@ let answer_of t item (a : Robust_eval.answer) ~shed ~cached =
     && Interval.width a.Robust_eval.enclosure <= 2.0 *. item.i_eps
     && not cached
   then
-    Result_cache.store t.cache ~query:item.i_query
-      ~policy:t.cfg.policy_label a;
+    Result_cache.store t.cache ~query:item.i_query ~policy:t.cfg.policy_label
+      ~epoch a;
   Protocol.Answer
     {
       lo = Interval.lo a.Robust_eval.enclosure;
@@ -173,11 +230,12 @@ let evaluate t item =
     else None
   in
   match
-    let src = t.cfg.make_source () in
-    Robust_eval.query ~budget:item.i_ticket.Admission.budget ~eps:item.i_eps
-      ~mc_samples:item.i_samples ~seed:item.i_seed ?rungs src item.i_phi
+    let src, epoch = snapshot_source t item.i_phi in
+    ( Robust_eval.query ~budget:item.i_ticket.Admission.budget ~eps:item.i_eps
+        ~mc_samples:item.i_samples ~seed:item.i_seed ?rungs src item.i_phi,
+      epoch )
   with
-  | a -> answer_of t item a ~shed ~cached:false
+  | a, epoch -> answer_of t item a ~shed ~cached:false ~epoch
   | exception exn ->
     (* Robust_eval only raises on caller errors, but a worker domain
        must survive anything an exotic source closure throws. *)
@@ -249,7 +307,8 @@ let handle_query t ~query ~eps ~deadline_ms ~mc_samples ~seed =
         { code = Errors.exit_code e; msg = Errors.to_string e }
     | phi -> (
       match
-        Result_cache.find t.cache ~query ~policy:t.cfg.policy_label ~eps
+        Result_cache.find t.cache ~query ~policy:t.cfg.policy_label
+          ~epoch:(epoch_of t phi) ~eps
       with
       | Some a ->
         Stats.incr c_answers;
@@ -323,6 +382,72 @@ let handle_query t ~query ~eps ~deadline_ms ~mc_samples ~seed =
           | _ -> ());
           resp))
 
+(* Streaming updates mutate the owned table under [tbl_lock] and bump
+   the mutated relation's epoch.  In-flight evaluations keep the
+   snapshot they took (Ti_table is persistent) and cache their answer
+   under the epoch of that snapshot; future requests see the new epoch,
+   miss, and recompute — while cached answers for relations this update
+   did not touch keep their keys and keep serving. *)
+let handle_update t ~delta =
+  if draining t then begin
+    Stats.incr c_overloaded;
+    Protocol.Overloaded { retry_after_ms = retry_after_ms t; draining = true }
+  end
+  else begin
+    Stats.incr c_updates;
+    match Delta_eval.delta_of_string delta with
+    | exception exn ->
+      Stats.incr c_errors;
+      let e = Errors.of_exn ~what:"serve update" exn in
+      Protocol.Error_resp
+        { code = Errors.exit_code e; msg = Errors.to_string e }
+    | d -> (
+      Mutex.lock t.tbl_lock;
+      let resp =
+        match t.table with
+        | None ->
+          Protocol.Error_resp
+            {
+              code = 2;
+              msg =
+                "updates need a finite materialized table (server was \
+                 started on a static or open-world source)";
+            }
+        | Some tbl -> (
+          let relation = Fact.rel (Delta_eval.delta_fact d) in
+          let noop =
+            Rational.equal
+              (Ti_table.prob tbl (Delta_eval.delta_fact d))
+              (Delta_eval.delta_target d)
+          in
+          match if noop then tbl else Delta_eval.apply_table tbl d with
+          | exception exn ->
+            let e = Errors.of_exn ~what:"serve update" exn in
+            Protocol.Error_resp
+              { code = Errors.exit_code e; msg = Errors.to_string e }
+          | tbl' ->
+            if not noop then begin
+              t.table <- Some tbl';
+              Hashtbl.replace t.epochs relation
+                (1
+                + Option.value ~default:0 (Hashtbl.find_opt t.epochs relation))
+            end
+            else Stats.incr c_update_noops;
+            Protocol.Update_ok
+              {
+                relation;
+                epoch =
+                  Option.value ~default:0 (Hashtbl.find_opt t.epochs relation);
+                noop;
+              })
+      in
+      Mutex.unlock t.tbl_lock;
+      (match resp with
+      | Protocol.Error_resp _ -> Stats.incr c_errors
+      | _ -> ());
+      resp)
+  end
+
 let handle_request t = function
   | Protocol.Health -> health_resp t
   | Protocol.Drain ->
@@ -330,6 +455,7 @@ let handle_request t = function
     health_resp t
   | Protocol.Stats_req ->
     Protocol.Stats_resp (Stats.by_prefix (Stats.snapshot ()) "serve.")
+  | Protocol.Update { delta } -> handle_update t ~delta
   | Protocol.Query { query; eps; deadline_ms; mc_samples; seed } ->
     Stats.incr c_requests;
     let t0 = Unix.gettimeofday () in
@@ -440,6 +566,9 @@ let start cfg =
       cfg;
       admission = Admission.create cfg.admission;
       cache = Result_cache.create ~capacity:cfg.cache_capacity;
+      tbl_lock = Mutex.create ();
+      table = cfg.updatable;
+      epochs = Hashtbl.create 8;
       queue = Queue.create ();
       q_lock = Mutex.create ();
       q_cond = Condition.create ();

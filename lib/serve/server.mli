@@ -51,13 +51,27 @@ type config = {
           string matches — see {!Result_cache.load}) and persist it back
           after drain in {!wait}.  The validator conventionally combines
           the packed store's checksum with the completion-policy spec,
-          so warm answers never outlive the data they certify. *)
+          so warm answers never outlive the data they certify.  Only
+          base-epoch entries are restored (see {!Result_cache.load}), so
+          a cache saved after streaming updates never leaks stale
+          enclosures into a fresh boot. *)
+  updatable : Ti_table.t option;
+      (** a finite materialized table the server owns and mutates under
+          [Update] frames; when set it overrides [make_source] as the
+          evaluation source.  Each accepted non-no-op update bumps the
+          mutated relation's {e epoch} counter; cached answers are keyed
+          by the epochs of the relations they read, so an update
+          invalidates exactly the cache slice that touched the mutated
+          relation while warm entries for untouched relations keep
+          serving.  [None] (static or open-world source) answers
+          [Update] with an error.  Updates are rejected while
+          draining. *)
 }
 
 val default_config : (unit -> Fact_source.t) -> endpoint -> config
 (** 2 domains, {!Admission.default_config}, eps 0.01, 20k/2k samples,
     1 s default deadline, cache of 256, empty policy label, no warm
-    cache. *)
+    cache, no updatable table. *)
 
 type t
 

@@ -100,6 +100,7 @@ let gen_request =
         opt (int_bound 100_000) >>= fun mc_samples ->
         small_nat >|= fun seed ->
         Protocol.Query { query; eps; deadline_ms; mc_samples; seed } );
+      (1, str >|= fun delta -> Protocol.Update { delta });
       (1, return Protocol.Health);
       (1, return Protocol.Stats_req);
       (1, return Protocol.Drain);
@@ -128,6 +129,7 @@ let test_response_roundtrip () =
          cached = false;
          shed = true;
        });
+  check (Protocol.Update_ok { relation = "R"; epoch = 3; noop = false });
   check (Protocol.Overloaded { retry_after_ms = 250; draining = false });
   check (Protocol.Error_resp { code = 2; msg = "bad\nthings = happened" });
   check (Protocol.Health_ok { draining = true; inflight = 3; uptime_s = 1.5 });
@@ -258,38 +260,38 @@ let dummy_answer lo hi =
 
 let test_cache_eps_aware () =
   let c = Result_cache.create ~capacity:8 in
-  Result_cache.store c ~query:"Q" ~policy:"p" (dummy_answer 0.50 0.51);
-  (match Result_cache.find c ~query:"Q" ~policy:"p" ~eps:0.01 with
+  Result_cache.store c ~query:"Q" ~policy:"p" ~epoch:"" (dummy_answer 0.50 0.51);
+  (match Result_cache.find c ~query:"Q" ~policy:"p" ~epoch:"" ~eps:0.01 with
   | Some _ -> ()
   | None -> Alcotest.fail "width 0.01 must satisfy eps 0.01");
-  (match Result_cache.find c ~query:"Q" ~policy:"p" ~eps:0.004 with
+  (match Result_cache.find c ~query:"Q" ~policy:"p" ~epoch:"" ~eps:0.004 with
   | None -> ()
   | Some _ -> Alcotest.fail "width 0.01 must not satisfy eps 0.004");
-  (match Result_cache.find c ~query:"Q" ~policy:"other" ~eps:0.5 with
+  (match Result_cache.find c ~query:"Q" ~policy:"other" ~epoch:"" ~eps:0.5 with
   | None -> ()
   | Some _ -> Alcotest.fail "policy is part of the key");
   (* replacement keeps the narrower enclosure *)
-  Result_cache.store c ~query:"Q" ~policy:"p" (dummy_answer 0.50 0.9);
-  (match Result_cache.find c ~query:"Q" ~policy:"p" ~eps:0.01 with
+  Result_cache.store c ~query:"Q" ~policy:"p" ~epoch:"" (dummy_answer 0.50 0.9);
+  (match Result_cache.find c ~query:"Q" ~policy:"p" ~epoch:"" ~eps:0.01 with
   | Some _ -> ()
   | None -> Alcotest.fail "wider answer must not replace a narrower one");
-  Result_cache.store c ~query:"Q" ~policy:"p" (dummy_answer 0.500 0.501);
-  match Result_cache.find c ~query:"Q" ~policy:"p" ~eps:0.0006 with
+  Result_cache.store c ~query:"Q" ~policy:"p" ~epoch:"" (dummy_answer 0.500 0.501);
+  match Result_cache.find c ~query:"Q" ~policy:"p" ~epoch:"" ~eps:0.0006 with
   | Some _ -> ()
   | None -> Alcotest.fail "narrower answer must replace"
 
 let test_cache_bounded () =
   let c = Result_cache.create ~capacity:2 in
-  Result_cache.store c ~query:"a" ~policy:"p" (dummy_answer 0.1 0.1);
-  Result_cache.store c ~query:"b" ~policy:"p" (dummy_answer 0.2 0.2);
-  Result_cache.store c ~query:"c" ~policy:"p" (dummy_answer 0.3 0.3);
+  Result_cache.store c ~query:"a" ~policy:"p" ~epoch:"" (dummy_answer 0.1 0.1);
+  Result_cache.store c ~query:"b" ~policy:"p" ~epoch:"" (dummy_answer 0.2 0.2);
+  Result_cache.store c ~query:"c" ~policy:"p" ~epoch:"" (dummy_answer 0.3 0.3);
   Alcotest.(check int) "capacity respected" 2 (Result_cache.length c);
-  (match Result_cache.find c ~query:"a" ~policy:"p" ~eps:0.4 with
+  (match Result_cache.find c ~query:"a" ~policy:"p" ~epoch:"" ~eps:0.4 with
   | None -> ()
   | Some _ -> Alcotest.fail "oldest entry must be evicted");
   let c0 = Result_cache.create ~capacity:0 in
-  Result_cache.store c0 ~query:"a" ~policy:"p" (dummy_answer 0.1 0.1);
-  match Result_cache.find c0 ~query:"a" ~policy:"p" ~eps:0.5 with
+  Result_cache.store c0 ~query:"a" ~policy:"p" ~epoch:"" (dummy_answer 0.1 0.1);
+  match Result_cache.find c0 ~query:"a" ~policy:"p" ~epoch:"" ~eps:0.5 with
   | None -> ()
   | Some _ -> Alcotest.fail "capacity 0 disables the cache"
 
@@ -300,16 +302,19 @@ let test_cache_warm_roundtrip () =
   @@ fun () ->
   let validator = "deadbeef:geometric:1/4:1/2" in
   let c = Result_cache.create ~capacity:8 in
-  Result_cache.store c ~query:"exists x. R(x)" ~policy:"p"
+  Result_cache.store c ~query:"exists x. R(x)" ~policy:"p" ~epoch:""
     (dummy_answer 0.50 0.51);
-  Result_cache.store c ~query:"q \"quoted\"\nnewline" ~policy:"p'"
+  Result_cache.store c ~query:"q \"quoted\"\nnewline" ~policy:"p'" ~epoch:""
     (dummy_answer 0.25 0.25);
   Alcotest.(check int) "saved" 2 (Result_cache.save c ~path ~validator);
   (* Fresh cache, matching validator: everything comes back. *)
   let c' = Result_cache.create ~capacity:8 in
   let reused0 = Stats.count (Stats.counter "serve.cache.warm.reused") in
   Alcotest.(check int) "loaded" 2 (Result_cache.load c' ~path ~validator);
-  (match Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~eps:0.01 with
+  (match
+     Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~epoch:""
+       ~eps:0.01
+   with
   | Some a ->
     Alcotest.(check (float 0.0)) "lo survives" 0.50
       (Interval.lo a.Robust_eval.enclosure);
@@ -317,16 +322,19 @@ let test_cache_warm_roundtrip () =
       (Interval.hi a.Robust_eval.enclosure)
   | None -> Alcotest.fail "restored entry must satisfy its own eps");
   (match
-     Result_cache.find c' ~query:"q \"quoted\"\nnewline" ~policy:"p'" ~eps:0.01
+     Result_cache.find c' ~query:"q \"quoted\"\nnewline" ~policy:"p'" ~epoch:""
+       ~eps:0.01
    with
   | Some _ -> ()
   | None -> Alcotest.fail "quoting must survive the round-trip");
   Alcotest.(check bool) "warm reuse counted" true
     (Stats.count (Stats.counter "serve.cache.warm.reused") >= reused0 + 2);
   (* A tighter answer computed after restore still replaces the warm one. *)
-  Result_cache.store c' ~query:"exists x. R(x)" ~policy:"p"
+  Result_cache.store c' ~query:"exists x. R(x)" ~policy:"p" ~epoch:""
     (dummy_answer 0.500 0.501);
-  (match Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~eps:0.0006
+  (match
+     Result_cache.find c' ~query:"exists x. R(x)" ~policy:"p" ~epoch:""
+       ~eps:0.0006
    with
   | Some _ -> ()
   | None -> Alcotest.fail "fresh narrower answer must replace the warm one");
@@ -340,7 +348,7 @@ let test_cache_warm_roundtrip () =
     (Stats.count (Stats.counter "serve.cache.warm.rejected") > rejected0);
   (* Corrupt entry line: the whole file is rejected, not a prefix. *)
   let oc = open_out_gen [ Open_append ] 0o644 path in
-  output_string oc "entry \"z\" \"p\" 0x1.cp-1 0x1p-3 0x1p-2\n";
+  output_string oc "entry \"z\" \"p\" \"\" 0x1.cp-1 0x1p-3 0x1p-2\n";
   close_out oc;
   let c3 = Result_cache.create ~capacity:8 in
   Alcotest.(check int) "malformed entry rejects the file" 0
@@ -391,7 +399,8 @@ let next_socket =
       (Printf.sprintf "iowpdb_test_%d_%d.sock" (Unix.getpid ()) !n)
 
 let with_server ?(domains = 2) ?(admission = Admission.default_config)
-    ?default_deadline_s ?(cache_capacity = 64) ?warm_cache make_source f =
+    ?default_deadline_s ?(cache_capacity = 64) ?warm_cache ?updatable
+    make_source f =
   let path = next_socket () in
   let cfg =
     {
@@ -406,6 +415,7 @@ let with_server ?(domains = 2) ?(admission = Admission.default_config)
       default_deadline_s;
       cache_capacity;
       warm_cache;
+      updatable;
     }
   in
   let t = Server.start cfg in
@@ -471,6 +481,87 @@ let test_serve_deadline_sound_enclosure () =
     Alcotest.(check bool) "returned promptly, no timeout hang" true
       (Unix.gettimeofday () -. t0 < 5.0)
   | _ -> Alcotest.fail "expected a best-so-far answer, not a timeout"
+
+(* Streaming updates: an update to relation R must invalidate exactly
+   the cached answers that read R — a stale hit here would serve an
+   enclosure the mutated table no longer certifies (the Result_cache
+   epoch regression) — while cached answers over untouched relations
+   keep serving. *)
+let test_serve_update_epoch_invalidation () =
+  let tbl =
+    Ti_table.create ((fact "S" [ 1 ], q 1 2) :: table_facts)
+  in
+  with_server ~default_deadline_s:5.0 ~updatable:tbl
+    (fun () -> Fact_source.of_ti_table tbl)
+  @@ fun ep _t ->
+  let conn = Client.connect ep in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let update d = Client.request conn (Protocol.Update { delta = d }) in
+  let cached_of q =
+    match query ep q with
+    | Protocol.Answer { cached; _ } as r ->
+      check_sound r;
+      cached
+    | _ -> Alcotest.fail "expected an answer"
+  in
+  (* Prime the cache for one query per relation. *)
+  Alcotest.(check bool) "R: first miss" false (cached_of "exists x. R(x)");
+  Alcotest.(check bool) "R: then hit" true (cached_of "exists x. R(x)");
+  Alcotest.(check bool) "S: first miss" false (cached_of "exists x. S(x)");
+  Alcotest.(check bool) "S: then hit" true (cached_of "exists x. S(x)");
+  (* Mutate R: the R entry must stop serving, the S entry must not. *)
+  (match update "insert R(4) 1/2" with
+  | Protocol.Update_ok { relation; epoch; noop } ->
+    Alcotest.(check string) "relation" "R" relation;
+    Alcotest.(check int) "epoch bumped" 1 epoch;
+    Alcotest.(check bool) "not a no-op" false noop
+  | _ -> Alcotest.fail "expected update_ok");
+  (match query ep "exists x. R(x)" with
+  | Protocol.Answer { lo; hi; cached; _ } ->
+    Alcotest.(check bool) "no stale hit after update" false cached;
+    (* 1 - (1/2)(2/3)(3/4)(1/2) = 7/8 on the mutated table. *)
+    Alcotest.(check bool) "contains 7/8" true (lo <= 0.875 && 0.875 <= hi)
+  | _ -> Alcotest.fail "expected an answer");
+  Alcotest.(check bool) "S entry survives the R update" true
+    (cached_of "exists x. S(x)");
+  (* A recognized no-op does not bump the epoch: R keeps its (new)
+     cached answer. *)
+  Alcotest.(check bool) "R: recached" true (cached_of "exists x. R(x)");
+  (match update "reweight R(4) 1/2" with
+  | Protocol.Update_ok { relation = _; epoch; noop } ->
+    Alcotest.(check bool) "no-op recognized" true noop;
+    Alcotest.(check int) "epoch unchanged" 1 epoch
+  | _ -> Alcotest.fail "expected update_ok");
+  Alcotest.(check bool) "no-op keeps the cache warm" true
+    (cached_of "exists x. R(x)");
+  (* Delete restores the original marginal distribution for R. *)
+  (match update "delete R(4)" with
+  | Protocol.Update_ok { epoch; noop; _ } ->
+    Alcotest.(check int) "second real update" 2 epoch;
+    Alcotest.(check bool) "delete applied" false noop
+  | _ -> Alcotest.fail "expected update_ok");
+  (match query ep "exists x. R(x)" with
+  | Protocol.Answer { lo; hi; cached; _ } ->
+    Alcotest.(check bool) "delete invalidates too" false cached;
+    Alcotest.(check bool) "back to 3/4" true (lo <= 0.75 && 0.75 <= hi)
+  | _ -> Alcotest.fail "expected an answer");
+  (* Malformed and out-of-range deltas are request errors. *)
+  (match update "frobnicate R(1)" with
+  | Protocol.Error_resp { code; _ } -> Alcotest.(check int) "code 2" 2 code
+  | _ -> Alcotest.fail "expected an error for a malformed delta");
+  match update "insert R(9) 3/2" with
+  | Protocol.Error_resp _ -> ()
+  | _ -> Alcotest.fail "expected an error for a marginal above one"
+
+let test_serve_update_rejected_without_table () =
+  with_server ~default_deadline_s:5.0 finite_source @@ fun ep _t ->
+  let conn = Client.connect ep in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  match Client.request conn (Protocol.Update { delta = "insert R(4) 1/2" }) with
+  | Protocol.Error_resp { msg; _ } ->
+    Alcotest.(check bool) "explains the rejection" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "static-source server must reject updates"
 
 let test_serve_health_and_stats () =
   with_server finite_source @@ fun ep _t ->
@@ -712,6 +803,10 @@ let () =
             test_serve_unsafe_and_bad_queries;
           Alcotest.test_case "deadline: sound best-so-far" `Quick
             test_serve_deadline_sound_enclosure;
+          Alcotest.test_case "update: epoch cache invalidation" `Quick
+            test_serve_update_epoch_invalidation;
+          Alcotest.test_case "update: rejected without table" `Quick
+            test_serve_update_rejected_without_table;
           Alcotest.test_case "health and stats" `Quick
             test_serve_health_and_stats;
           Alcotest.test_case "overload sheds soundly" `Slow
